@@ -1,0 +1,270 @@
+package dbp
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestPublicAPIQuickstartFlow(t *testing.T) {
+	jobs := GenerateUniform(100, 2.0, 8.0, 1)
+	if err := jobs.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(FirstFit(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	ratio, res2, err := MeasureRatio(FirstFit(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.TotalUsage != res.TotalUsage {
+		t.Fatal("measure and run disagree")
+	}
+	if ratio.Hi() > Theorem1Bound(jobs.Mu()) {
+		t.Fatalf("ratio %g above Theorem 1 bound", ratio.Hi())
+	}
+	if ratio.Lo() < 1-1e-9 {
+		t.Fatalf("ratio %g below 1", ratio.Lo())
+	}
+}
+
+func TestPublicAlgorithms(t *testing.T) {
+	jobs := GenerateUniform(60, 2, 4, 2)
+	algos := []Algorithm{
+		FirstFit(), BestFit(), WorstFit(), LastFit(), NextFit(),
+		RandomFit(1), HybridFirstFit(2), HybridNextFit(2),
+	}
+	for _, a := range algos {
+		res, err := Run(a, jobs)
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name(), err)
+		}
+		if err := res.Verify(); err != nil {
+			t.Fatalf("%s: %v", a.Name(), err)
+		}
+	}
+	if _, err := AlgorithmByName("firstfit"); err != nil {
+		t.Fatal(err)
+	}
+	if len(AlgorithmNames()) < 8 {
+		t.Fatal("missing registered algorithms")
+	}
+}
+
+func TestPublicOptAndPropositions(t *testing.T) {
+	jobs := GenerateUniform(50, 2, 4, 3)
+	b := Opt(jobs)
+	exact, ok := OptExact(jobs)
+	if !ok {
+		t.Skip("exact solve cut off")
+	}
+	if exact < b.Lower-1e-9 || exact > b.Upper+1e-9 {
+		t.Fatalf("exact %g outside bracket %+v", exact, b)
+	}
+	if DemandLowerBound(jobs) > exact+1e-9 || SpanLowerBound(jobs) > exact+1e-9 {
+		t.Fatal("propositions exceed OPT")
+	}
+}
+
+func TestPublicBounds(t *testing.T) {
+	if Theorem1Bound(6) != 10 || UniversalLowerBound(6) != 6 {
+		t.Fatal("bounds wrong")
+	}
+	lo, hi := NextFitBounds(6)
+	if lo != 12 || hi != 13 {
+		t.Fatal("NF bounds wrong")
+	}
+}
+
+func TestPublicAdversaries(t *testing.T) {
+	nf := MustRun(NextFit(), NextFitAdversary(8, 4))
+	if nf.TotalUsage != 32 {
+		t.Fatalf("NF usage = %g, want 32", nf.TotalUsage)
+	}
+	ff := MustRun(FirstFit(), AnyFitTrap(8, 4))
+	if math.Abs(ff.TotalUsage-32) > 1e-9 {
+		t.Fatalf("FF trap usage = %g, want 32", ff.TotalUsage)
+	}
+	bf := MustRun(BestFit(), BestFitRelay(4, 2, 4))
+	if bf.NumBins() != 4 {
+		t.Fatalf("relay bins = %d, want 4", bf.NumBins())
+	}
+}
+
+func TestPublicDispatcher(t *testing.T) {
+	d := NewDispatcher(FirstFit(), 0, 1)
+	srv, opened, err := d.Arrive(1, 0.5, nil, 0)
+	if err != nil || !opened || srv != 0 {
+		t.Fatalf("arrive: %d %v %v", srv, opened, err)
+	}
+	if _, _, err := d.Depart(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if d.AccumulatedUsage(2) != 2 {
+		t.Fatal("usage wrong")
+	}
+}
+
+func TestPublicTraceRoundTrip(t *testing.T) {
+	jobs := GenerateGaming(100, 0.5, 4)
+	var csvBuf, jsonBuf bytes.Buffer
+	if err := WriteTraceCSV(&csvBuf, jobs); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTraceJSON(&jsonBuf, jobs); err != nil {
+		t.Fatal(err)
+	}
+	fromCSV, err := ReadTraceCSV(&csvBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromJSON, err := ReadTraceJSON(&jsonBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fromCSV) != len(jobs) || len(fromJSON) != len(jobs) {
+		t.Fatal("round trip lost items")
+	}
+}
+
+func TestPublicBilling(t *testing.T) {
+	jobs := GenerateGaming(150, 0.5, 5)
+	res := MustRun(FirstFit(), jobs)
+	iv := CostOf(res, HourlyBilling(0.90, 60))
+	if iv.Total <= 0 || iv.BilledTime < iv.UsageTime-1e-9 {
+		t.Fatalf("invoice = %+v", iv)
+	}
+	cont := CostOf(res, BillingModel{Granularity: 0, Rate: 0.90 / 60})
+	if cont.Total > iv.Total+1e-9 {
+		t.Fatal("continuous billing cannot cost more than hourly")
+	}
+}
+
+func TestPublicGamingWorkload(t *testing.T) {
+	jobs := GenerateGaming(200, 1, 6)
+	if len(jobs) != 200 {
+		t.Fatal("wrong count")
+	}
+	if mu := jobs.Mu(); mu > 60+1e-9 {
+		t.Fatalf("gaming mu %g exceeds catalog bound", mu)
+	}
+}
+
+func TestPublicKeepAlive(t *testing.T) {
+	jobs := List{
+		{ID: 1, Size: 1, Arrival: 0, Departure: 10},
+		{ID: 2, Size: 1, Arrival: 15, Departure: 25},
+	}
+	res, err := RunKeepAlive(FirstFit(), jobs, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumBins() != 1 {
+		t.Fatalf("bins = %d, want 1 (reuse through keep-alive)", res.NumBins())
+	}
+	if _, err := RunKeepAlive(FirstFit(), jobs, -1); err == nil {
+		t.Fatal("negative keep-alive must error")
+	}
+}
+
+func TestPublicClairvoyant(t *testing.T) {
+	jobs := GenerateUniform(80, 2, 6, 9)
+	for _, algo := range []Algorithm{AlignFit(), NoExtendFit()} {
+		res, err := RunClairvoyant(algo, jobs)
+		if err != nil {
+			t.Fatalf("%s: %v", algo.Name(), err)
+		}
+		if err := res.Verify(); err != nil {
+			t.Fatalf("%s: %v", algo.Name(), err)
+		}
+	}
+}
+
+func TestPublicNextKFitAndAWF(t *testing.T) {
+	jobs := GenerateUniform(80, 2, 6, 9)
+	for _, algo := range []Algorithm{NextKFit(1), NextKFit(4), AlmostWorstFit()} {
+		res, err := Run(algo, jobs)
+		if err != nil {
+			t.Fatalf("%s: %v", algo.Name(), err)
+		}
+		if err := res.Verify(); err != nil {
+			t.Fatalf("%s: %v", algo.Name(), err)
+		}
+	}
+	nf := MustRun(NextFit(), jobs)
+	nk1 := MustRun(NextKFit(1), jobs)
+	if nf.TotalUsage != nk1.TotalUsage {
+		t.Fatal("NextKFit(1) must equal NextFit")
+	}
+}
+
+func TestPublicFleet(t *testing.T) {
+	jobs := GenerateGaming(120, 0.5, 3)
+	fleet := []ServerType{
+		{Name: "small", Capacity: 0.25},
+		{Name: "large", Capacity: 1.0},
+	}
+	res, err := RunFleet(FirstFit(), jobs, fleet, RightSizeChooser())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	iv := CostOfFleet(res, RatePlan{Granularity: 60, Tiers: []TierRate{
+		{Capacity: 0.25, Rate: 0.35 / 60},
+		{Capacity: 1.0, Rate: 1.0 / 60},
+	}})
+	if iv.Total <= 0 {
+		t.Fatalf("invoice = %+v", iv)
+	}
+	large, err := RunFleet(FirstFit(), jobs, fleet, LargestTypeChooser())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large.NumBins() > res.NumBins() {
+		t.Fatal("always-large cannot open more servers than right-size")
+	}
+}
+
+func TestPublicBursty(t *testing.T) {
+	jobs := GenerateBursty(300, 1, 8, 10, 4)
+	if err := jobs.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(FirstFit(), jobs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicDispatcherKeepAliveAndExports(t *testing.T) {
+	d := NewDispatcherKeepAlive(FirstFit(), 0, 1, 5)
+	d.Arrive(1, 1.0, nil, 0)
+	d.Depart(1, 2)
+	if srv, opened, _ := d.Arrive(2, 1.0, nil, 4); opened || srv != 0 {
+		t.Fatal("keep-alive dispatcher must reuse the lingering server")
+	}
+	d.Depart(2, 6)
+	d.Shutdown()
+
+	jobs := GenerateUniform(30, 2, 4, 8)
+	res := MustRun(FirstFit(), jobs)
+	if EventLog(res) == "" {
+		t.Fatal("empty event log")
+	}
+	var buf bytes.Buffer
+	if err := WriteAssignment(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("empty assignment export")
+	}
+	if RenderGantt(res, 60) == "" {
+		t.Fatal("empty gantt")
+	}
+}

@@ -1,0 +1,179 @@
+package dbp
+
+import (
+	"fmt"
+	"testing"
+
+	"dbp/internal/binpack"
+	"dbp/internal/experiments"
+	"dbp/internal/opt"
+	"dbp/internal/packing"
+	"dbp/internal/workload"
+)
+
+// One benchmark per experiment (E1–E10): each runs the harness that
+// regenerates the corresponding table/series from the paper's claims (see
+// DESIGN.md for the experiment index). Quick mode keeps iterations
+// bounded; run cmd/dbpexp for the full sweeps and rendered tables.
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := experiments.Config{Quick: true, Seed: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tables := e.Run(cfg)
+		if len(tables) == 0 {
+			b.Fatal("no tables")
+		}
+	}
+}
+
+func BenchmarkE1FirstFitBound(b *testing.B)       { benchExperiment(b, "E1") }
+func BenchmarkE2NextFitLowerBound(b *testing.B)   { benchExperiment(b, "E2") }
+func BenchmarkE3AnyFitLowerBound(b *testing.B)    { benchExperiment(b, "E3") }
+func BenchmarkE4BestFitUnbounded(b *testing.B)    { benchExperiment(b, "E4") }
+func BenchmarkE5UniversalLowerBound(b *testing.B) { benchExperiment(b, "E5") }
+func BenchmarkE6BoundsTable(b *testing.B)         { benchExperiment(b, "E6") }
+func BenchmarkE7Decomposition(b *testing.B)       { benchExperiment(b, "E7") }
+func BenchmarkE8GamingCost(b *testing.B)          { benchExperiment(b, "E8") }
+func BenchmarkE9AlgorithmComparison(b *testing.B) { benchExperiment(b, "E9") }
+func BenchmarkE10MultiDim(b *testing.B)           { benchExperiment(b, "E10") }
+
+// Micro-benchmarks: the per-event cost of the simulator under each
+// policy, the exact OPT solver, and the adversary generators.
+
+func benchPolicy(b *testing.B, algo Algorithm, n int) {
+	b.Helper()
+	jobs := GenerateUniform(n, 4, 8, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(algo, jobs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(0)
+	b.ReportMetric(float64(2*n), "events/op")
+}
+
+func BenchmarkSimulateFirstFit1k(b *testing.B) { benchPolicy(b, FirstFit(), 1000) }
+func BenchmarkSimulateBestFit1k(b *testing.B)  { benchPolicy(b, BestFit(), 1000) }
+func BenchmarkSimulateNextFit1k(b *testing.B)  { benchPolicy(b, NextFit(), 1000) }
+func BenchmarkSimulateHybridFF1k(b *testing.B) { benchPolicy(b, HybridFirstFit(2), 1000) }
+
+func BenchmarkSimulateFirstFitBySize(b *testing.B) {
+	for _, n := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			benchPolicy(b, FirstFit(), n)
+		})
+	}
+}
+
+func BenchmarkOptExactSegment(b *testing.B) {
+	jobs := GenerateUniform(60, 2, 4, 7)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := opt.TotalExact(jobs, 0); !ok {
+			b.Fatal("exact solve cut off")
+		}
+	}
+}
+
+func BenchmarkBinpackExact24(b *testing.B) {
+	jobs := GenerateUniform(60, 8, 2, 3)
+	sizes := jobs.ActiveSizesAt(jobs.PackingPeriod().Lo + jobs.PackingPeriod().Length()/2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		binpack.Exact(sizes, 1)
+	}
+	b.ReportMetric(float64(len(sizes)), "items")
+}
+
+func BenchmarkAdversaryGeneration(b *testing.B) {
+	b.Run("NextFitAdversary", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			workload.NextFitAdversary(256, 8)
+		}
+	})
+	b.Run("AnyFitTrap", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			workload.AnyFitTrap(256, 8)
+		}
+	})
+	b.Run("BestFitRelay", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			workload.BestFitRelay(8, 4, 4)
+		}
+	})
+}
+
+func BenchmarkDispatcherArriveDepart(b *testing.B) {
+	b.ReportAllocs()
+	d := NewDispatcher(FirstFit(), 0, 1)
+	t := 0.0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := ID(i + 1)
+		t += 0.001
+		if _, _, err := d.Arrive(id, 0.3, nil, t); err != nil {
+			b.Fatal(err)
+		}
+		if i >= 100 {
+			t += 0.001
+			if _, _, err := d.Depart(ID(i-99), t); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	_ = packing.Algorithm(nil)
+}
+
+func BenchmarkE11SupplierSweep(b *testing.B) { benchExperiment(b, "E11") }
+func BenchmarkE12KeepAlive(b *testing.B)     { benchExperiment(b, "E12") }
+func BenchmarkE13Ablations(b *testing.B)     { benchExperiment(b, "E13") }
+
+func BenchmarkSimulateKeepAlive1k(b *testing.B) {
+	jobs := GenerateUniform(1000, 4, 8, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunKeepAlive(FirstFit(), jobs, 0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFirstFitEngines compares the naive O(B)-scan First Fit with
+// the segment-tree engine on a large instance (identical packings,
+// asserted by tests).
+func BenchmarkFirstFitEngines(b *testing.B) {
+	jobs := GenerateUniform(20000, 64, 64, 1) // heavy fleet: hundreds of concurrently open bins
+	b.Run("naive", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := Run(FirstFit(), jobs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("segment-tree", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := Run(packing.NewFastFirstFit(), jobs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkE14Fleet(b *testing.B)  { benchExperiment(b, "E14") }
+func BenchmarkE15Bursty(b *testing.B) { benchExperiment(b, "E15") }
+
+func BenchmarkE16Objectives(b *testing.B) { benchExperiment(b, "E16") }

@@ -1,0 +1,94 @@
+// Command dbpexp runs the experiment suite (E1–E10 from DESIGN.md), each
+// regenerating a table corresponding to a quantitative claim of the paper
+// "On First Fit Bin Packing for Online Cloud Server Allocation" (IPDPS
+// 2016), and renders the results as plain text or markdown.
+//
+// Examples:
+//
+//	dbpexp                  # run everything, full size
+//	dbpexp -exp E2,E6       # selected experiments
+//	dbpexp -quick -md -o EXPERIMENTS-data.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"dbp/internal/analysis"
+	"dbp/internal/experiments"
+	"dbp/internal/parallel"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dbpexp: ")
+
+	var (
+		expFlag = flag.String("exp", "all", "comma-separated experiment ids (E1..E16) or 'all'")
+		quick   = flag.Bool("quick", false, "small sweeps (seconds instead of minutes)")
+		seed    = flag.Int64("seed", 1, "random seed")
+		md      = flag.Bool("md", false, "render markdown instead of plain text")
+		out     = flag.String("o", "", "output file (default stdout)")
+		workers = flag.Int("workers", 0, "experiments run concurrently on this many workers (0 = GOMAXPROCS, 1 = sequential)")
+	)
+	flag.Parse()
+
+	var selected []experiments.Experiment
+	if *expFlag == "all" {
+		selected = experiments.All()
+	} else {
+		for _, id := range strings.Split(*expFlag, ",") {
+			e, err := experiments.ByID(strings.TrimSpace(id))
+			if err != nil {
+				log.Fatal(err)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	cfg := experiments.Config{Quick: *quick, Seed: *seed}
+	// Experiments are independent; run them concurrently and render in
+	// order (results are deterministic regardless of worker count).
+	type outcome struct {
+		tables  []*analysis.Table
+		elapsed time.Duration
+	}
+	outcomes := parallel.Map(len(selected), *workers, func(i int) outcome {
+		start := time.Now()
+		return outcome{tables: selected[i].Run(cfg), elapsed: time.Since(start)}
+	})
+	for i, e := range selected {
+		tables := outcomes[i].tables
+		elapsed := outcomes[i].elapsed
+		if *md {
+			fmt.Fprintf(w, "## %s: %s\n\n", e.ID, e.Title)
+			fmt.Fprintf(w, "*Claim:* %s\n\n", e.Claim)
+			for _, tb := range tables {
+				fmt.Fprintln(w, tb.Markdown())
+			}
+			fmt.Fprintf(w, "*(generated in %v)*\n\n", elapsed.Round(time.Millisecond))
+		} else {
+			fmt.Fprintf(w, "=== %s: %s\n", e.ID, e.Title)
+			fmt.Fprintf(w, "    claim: %s\n\n", e.Claim)
+			for _, tb := range tables {
+				fmt.Fprintln(w, tb.String())
+			}
+			fmt.Fprintf(w, "    (%v)\n\n", elapsed.Round(time.Millisecond))
+		}
+	}
+}

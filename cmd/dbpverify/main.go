@@ -1,0 +1,146 @@
+// Command dbpverify runs the full validation stack over a packing of a
+// workload: the physical re-check of the placement history
+// (Result.Verify), the Section IV usage-period identities, the Section V
+// subperiod propositions (First Fit runs), the supplier-period census,
+// Theorem 1's bound against a certified OPT bracket, and the
+// cross-engine consistency of the two First Fit implementations. It is
+// the "trust but verify" tool for traces produced elsewhere.
+//
+// Examples:
+//
+//	dbpverify -gen uniform -n 300 -mu 8
+//	dbpverify -trace jobs.csv -algo bestfit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"dbp"
+	"dbp/internal/analysis"
+	"dbp/internal/cliutil"
+	"dbp/internal/opt"
+	"dbp/internal/packing"
+	"dbp/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dbpverify: ")
+
+	var (
+		algoName  = flag.String("algo", "firstfit", "policy: "+strings.Join(dbp.AlgorithmNames(), ", "))
+		tracePath = flag.String("trace", "", "trace file to verify (.csv or .json)")
+		gen       = flag.String("gen", "", "generate workload: uniform, pareto, gaming, bursty")
+		n         = flag.Int("n", 200, "number of jobs (with -gen)")
+		rate      = flag.Float64("rate", 2, "arrival rate (with -gen)")
+		mu        = flag.Float64("mu", 8, "duration ratio bound")
+		seed      = flag.Int64("seed", 1, "random seed (with -gen)")
+		assignIn  = flag.String("assign", "", "verify an external assignment CSV (id,bin,size,arrival,departure) instead of running a policy")
+	)
+	flag.Parse()
+
+	if *assignIn != "" {
+		verifyExternal(*assignIn)
+		return
+	}
+
+	jobs, err := cliutil.LoadJobs(*tracePath, cliutil.GenSpec{Kind: *gen, N: *n, Rate: *rate, Mu: *mu, Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	algo, err := dbp.AlgorithmByName(*algoName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	failures := 0
+	check := func(name string, err error) {
+		if err != nil {
+			failures++
+			fmt.Printf("FAIL  %-34s %v\n", name, err)
+			return
+		}
+		fmt.Printf("ok    %s\n", name)
+	}
+
+	check("instance validation", jobs.Validate())
+
+	res, err := packing.Run(algo, jobs, &packing.Options{Validate: true})
+	check("simulation (per-event invariants)", err)
+	if err != nil {
+		os.Exit(1)
+	}
+	check("physical re-verification", res.Verify())
+
+	dec := analysis.Decompose(res)
+	check("Sec. IV identities (V/W, span)", dec.Verify())
+
+	if res.Algorithm == "FirstFit" {
+		sps := analysis.SubperiodsOf(res)
+		check("Sec. V propositions 3-6", analysis.VerifySubperiods(res, sps))
+		groups := analysis.BuildLGroups(sps, analysis.DefaultSupplierParams())
+		census := analysis.CheckSupplierDisjointness(groups)
+		fmt.Printf("info  supplier census: %s\n", census.String())
+
+		fast := packing.MustRun(packing.NewFastFirstFit(), jobs, nil)
+		check("segment-tree engine consistency", sameResult(res, fast))
+	}
+
+	b := opt.TotalParallel(jobs, 0, 0, 0)
+	bound := analysis.FirstFitUpperBound(jobs.Mu())
+	if res.Algorithm == "FirstFit" && res.TotalUsage > bound*b.Upper+1e-6 {
+		check("Theorem 1 bound", fmt.Errorf("usage %g > (mu+4)*OPT_upper %g", res.TotalUsage, bound*b.Upper))
+	} else {
+		check("Theorem 1 bound", nil)
+	}
+	fmt.Printf("info  %s; OPT in [%.6g, %.6g]; mu = %.4g\n", res.String(), b.Lower, b.Upper, jobs.Mu())
+
+	if failures > 0 {
+		log.Fatalf("%d checks failed", failures)
+	}
+	fmt.Println("all checks passed")
+}
+
+// verifyExternal replays a third-party assignment, verifies its physical
+// legality, and benchmarks it against First Fit and the OPT bracket.
+func verifyExternal(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	jobs, assign, err := trace.ReadAssignment(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := packing.Replay(jobs, assign)
+	if err != nil {
+		log.Fatalf("assignment is not a legal packing: %v", err)
+	}
+	if err := rep.Verify(); err != nil {
+		log.Fatalf("replay verification failed: %v", err)
+	}
+	ff := packing.MustRun(packing.NewFirstFit(), jobs, nil)
+	b := opt.TotalParallel(jobs, 0, 0, 0)
+	fmt.Printf("external packing is legal: %s\n", rep.String())
+	fmt.Printf("First Fit on the same instance: usage %.6g (%d servers)\n", ff.TotalUsage, ff.NumBins())
+	fmt.Printf("OPT_total in [%.6g, %.6g]; external ratio <= %.4f, FF ratio <= %.4f\n",
+		b.Lower, b.Upper, rep.TotalUsage/b.Lower, ff.TotalUsage/b.Lower)
+}
+
+func sameResult(a, b *dbp.Result) error {
+	if a.TotalUsage != b.TotalUsage || a.NumBins() != b.NumBins() {
+		return fmt.Errorf("engines disagree: %g/%d vs %g/%d bins",
+			a.TotalUsage, a.NumBins(), b.TotalUsage, b.NumBins())
+	}
+	for id, bin := range a.Assignment {
+		if b.Assignment[id] != bin {
+			return fmt.Errorf("engines assign item %d differently", id)
+		}
+	}
+	return nil
+}

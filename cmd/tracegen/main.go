@@ -1,0 +1,86 @@
+// Command tracegen generates workload traces — random cloud workloads,
+// the synthetic gaming catalog, or the paper's adversarial constructions
+// — and writes them as CSV or JSON for dbpsim and external tools.
+//
+// Examples:
+//
+//	tracegen -gen uniform -n 1000 -rate 4 -mu 16 -o jobs.csv
+//	tracegen -gen gaming -n 2000 -rate 1 -format json -o sessions.json
+//	tracegen -adv nextfit -advn 64 -mu 8 -o adversary.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"dbp"
+	"dbp/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracegen: ")
+
+	var (
+		gen    = flag.String("gen", "", "random workload: uniform, pareto, gaming, bursty")
+		adv    = flag.String("adv", "", "adversarial instance: nextfit, anyfittrap, bestfitrelay")
+		n      = flag.Int("n", 500, "number of jobs (with -gen)")
+		rate   = flag.Float64("rate", 2, "arrival rate (with -gen)")
+		mu     = flag.Float64("mu", 8, "duration ratio")
+		seed   = flag.Int64("seed", 1, "random seed")
+		advN   = flag.Int("advn", 64, "adversary size parameter (n pairs / victims)")
+		rounds = flag.Int("rounds", 6, "relay rounds (bestfitrelay)")
+		format = flag.String("format", "csv", "output format: csv or json")
+		out    = flag.String("o", "", "output file (default stdout)")
+		stats  = flag.Bool("stats", false, "print trace statistics to stderr")
+	)
+	flag.Parse()
+
+	var jobs dbp.List
+	switch {
+	case *gen == "uniform":
+		jobs = dbp.GenerateUniform(*n, *rate, *mu, *seed)
+	case *gen == "pareto":
+		jobs = dbp.GeneratePareto(*n, *rate, *mu, *seed)
+	case *gen == "gaming":
+		jobs = dbp.GenerateGaming(*n, *rate, *seed)
+	case *gen == "bursty":
+		jobs = dbp.GenerateBursty(*n, *rate, *mu, 10, *seed)
+	case *adv == "nextfit":
+		jobs = dbp.NextFitAdversary(*advN, *mu)
+	case *adv == "anyfittrap":
+		jobs = dbp.AnyFitTrap(*advN, *mu)
+	case *adv == "bestfitrelay":
+		jobs = dbp.BestFitRelay(*advN, *rounds, *mu)
+	default:
+		log.Fatal("pass -gen {uniform,pareto,gaming} or -adv {nextfit,anyfittrap,bestfitrelay}")
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	var err error
+	switch *format {
+	case "csv":
+		err = dbp.WriteTraceCSV(w, jobs)
+	case "json":
+		err = dbp.WriteTraceJSON(w, jobs)
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *stats {
+		fmt.Fprintln(os.Stderr, trace.Summarize(jobs).String())
+	}
+}

@@ -1,0 +1,104 @@
+package dbp_test
+
+import (
+	"fmt"
+
+	"dbp"
+)
+
+// The basic loop: build an instance, dispatch it online, inspect the
+// objective.
+func ExampleRun() {
+	jobs := dbp.List{
+		{ID: 1, Size: 0.5, Arrival: 0, Departure: 2},
+		{ID: 2, Size: 0.6, Arrival: 1, Departure: 3},
+		{ID: 3, Size: 0.4, Arrival: 1, Departure: 4},
+	}
+	res, err := dbp.Run(dbp.FirstFit(), jobs)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("servers: %d, usage: %g\n", res.NumBins(), res.TotalUsage)
+	// Output:
+	// servers: 2, usage: 6
+}
+
+// Measuring a policy against the exact offline optimum and Theorem 1.
+func ExampleMeasureRatio() {
+	jobs := dbp.NextFitAdversary(16, 8) // the paper's Sec. VIII instance
+	ratio, _, err := dbp.MeasureRatio(dbp.NextFit(), jobs)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("Next Fit ratio: %.3f (2*mu = %g)\n", ratio.Hi(), 16.0)
+	ffRatio, _, _ := dbp.MeasureRatio(dbp.FirstFit(), jobs)
+	fmt.Printf("First Fit ratio: %.3f (bound mu+4 = %g)\n", ffRatio.Hi(), dbp.Theorem1Bound(jobs.Mu()))
+	// Output:
+	// Next Fit ratio: 8.000 (2*mu = 16)
+	// First Fit ratio: 1.000 (bound mu+4 = 12)
+}
+
+// Driving the dispatcher one job at a time, departures unknown at
+// arrival — the cloud front-end integration surface.
+func ExampleDispatcher() {
+	d := dbp.NewDispatcher(dbp.FirstFit(), 0, 1)
+	server, opened, _ := d.Arrive(1, 0.5, nil, 0.0)
+	fmt.Printf("job 1 -> server %d (new: %v)\n", server, opened)
+	server, opened, _ = d.Arrive(2, 0.5, nil, 1.0)
+	fmt.Printf("job 2 -> server %d (new: %v)\n", server, opened)
+	_, closed, _ := d.Depart(1, 2.0)
+	fmt.Printf("job 1 departed (server closed: %v)\n", closed)
+	_, closed, _ = d.Depart(2, 3.0)
+	fmt.Printf("job 2 departed (server closed: %v)\n", closed)
+	fmt.Printf("total usage: %g\n", d.AccumulatedUsage(3.0))
+	// Output:
+	// job 1 -> server 0 (new: true)
+	// job 2 -> server 0 (new: false)
+	// job 1 departed (server closed: false)
+	// job 2 departed (server closed: true)
+	// total usage: 3
+}
+
+// The paper's Propositions 1–2 bound OPT from below; the exact solver
+// closes the gap.
+func ExampleOptExact() {
+	jobs := dbp.List{
+		{ID: 1, Size: 0.6, Arrival: 0, Departure: 2},
+		{ID: 2, Size: 0.6, Arrival: 1, Departure: 3},
+	}
+	opt, ok := dbp.OptExact(jobs)
+	fmt.Printf("OPT_total = %g (exact: %v)\n", opt, ok)
+	fmt.Printf("Prop 1 (demand) = %g, Prop 2 (span) = %g\n",
+		dbp.DemandLowerBound(jobs), dbp.SpanLowerBound(jobs))
+	// Output:
+	// OPT_total = 4 (exact: true)
+	// Prop 1 (demand) = 2.4, Prop 2 (span) = 3
+}
+
+// Pay-as-you-go pricing: the MinUsageTime objective is the continuous
+// limit of hourly billing.
+func ExampleCostOf() {
+	jobs := dbp.List{
+		{ID: 1, Size: 1, Arrival: 0, Departure: 90}, // 90 minutes
+	}
+	res := dbp.MustRun(dbp.FirstFit(), jobs)
+	hourly := dbp.CostOf(res, dbp.HourlyBilling(0.60, 60))
+	fmt.Printf("usage %g min, billed %g min, cost $%.2f\n",
+		hourly.UsageTime, hourly.BilledTime, hourly.Total)
+	// Output:
+	// usage 90 min, billed 120 min, cost $1.20
+}
+
+// Keep-alive: a lingering server absorbs a later job.
+func ExampleRunKeepAlive() {
+	jobs := dbp.List{
+		{ID: 1, Size: 1, Arrival: 0, Departure: 10},
+		{ID: 2, Size: 1, Arrival: 15, Departure: 25},
+	}
+	plain := dbp.MustRun(dbp.FirstFit(), jobs)
+	kept, _ := dbp.RunKeepAlive(dbp.FirstFit(), jobs, 10)
+	fmt.Printf("no keep-alive: %d servers; keep-alive 10: %d servers\n",
+		plain.NumBins(), kept.NumBins())
+	// Output:
+	// no keep-alive: 2 servers; keep-alive 10: 1 servers
+}

@@ -1,0 +1,42 @@
+// Adversarial walkthrough of the paper's Section VIII construction: n
+// pairs (a 1/2-size job of duration 1, a sliver of duration mu) arrive at
+// time 0. Next Fit opens a bin per pair and keeps all n bins alive for
+// mu, paying n*mu; the optimum pairs the halves and parks the slivers in
+// one bin, paying n/2 + mu. The ratio climbs to 2*mu with n — while
+// First Fit on the very same instance stays near optimal, illustrating
+// why the factor-1 multiplicative bound of Theorem 1 matters.
+package main
+
+import (
+	"fmt"
+
+	"dbp"
+)
+
+func main() {
+	mu := 8.0
+	fmt.Printf("Section VIII construction, mu = %g (2*mu = %g)\n\n", mu, 2*mu)
+	fmt.Printf("%6s  %10s  %10s  %8s  %8s  %10s\n", "n", "NF usage", "OPT", "NF ratio", "FF ratio", "analytic")
+	for _, n := range []int{4, 8, 16, 64, 256, 1024, 4096} {
+		jobs := dbp.NextFitAdversary(n, mu)
+		nf := dbp.MustRun(dbp.NextFit(), jobs)
+		ff := dbp.MustRun(dbp.FirstFit(), jobs)
+		opt := float64(n)/2 + mu // paper's closed form for this instance
+		analytic := float64(n) * mu / (float64(n)/2 + mu)
+		fmt.Printf("%6d  %10.0f  %10.1f  %8.3f  %8.3f  %10.3f\n",
+			n, nf.TotalUsage, opt, nf.TotalUsage/opt, ff.TotalUsage/opt, analytic)
+	}
+
+	fmt.Println("\nGap-seal trap (pins First Fit and Best Fit near the universal bound mu):")
+	fmt.Printf("%6s  %8s  %8s  %8s\n", "n", "FF", "BF", "limit")
+	for _, n := range []int{8, 32, 128, 512} {
+		jobs := dbp.AnyFitTrap(n, mu)
+		ff := dbp.MustRun(dbp.FirstFit(), jobs)
+		bf := dbp.MustRun(dbp.BestFit(), jobs)
+		opt := float64(n) + mu - 1
+		fmt.Printf("%6d  %8.3f  %8.3f  %8.3f\n",
+			n, ff.TotalUsage/opt, bf.TotalUsage/opt, float64(n)*mu/(float64(n)+mu-1))
+	}
+	fmt.Printf("\nNo online algorithm can beat mu = %g; First Fit's guarantee is mu+4 = %g.\n",
+		mu, dbp.Theorem1Bound(mu))
+}

@@ -1,0 +1,76 @@
+// Cloud gaming dispatch — the paper's motivating application (Sec. I).
+// A provider receives play requests whose session lengths are unknown in
+// advance, assigns each to a GPU server with enough free capacity, and
+// pays for servers by the hour. This example drives the streaming
+// Dispatcher exactly as a provider's front end would (no future
+// knowledge), then prices the fleet under hourly billing.
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"dbp"
+)
+
+func main() {
+	// Synthetic session stream: four game tiers (GPU shares 1/8 .. 3/4),
+	// heavy-tailed session lengths of 5..300 minutes (mu = 60), one
+	// request every 2 minutes on average.
+	sessions := dbp.GenerateGaming(800, 0.5, 7)
+
+	// Feed arrivals and departures through the online dispatcher in
+	// timestamp order — this is the integration surface a real system
+	// would use (Arrive returns the chosen server; Depart reports server
+	// shutdowns).
+	type ev struct {
+		t      float64
+		arrive bool
+		id     dbp.ID
+		size   float64
+	}
+	var evs []ev
+	for _, s := range sessions {
+		evs = append(evs,
+			ev{t: s.Arrival, arrive: true, id: s.ID, size: s.Size},
+			ev{t: s.Departure, arrive: false, id: s.ID})
+	}
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].t != evs[j].t {
+			return evs[i].t < evs[j].t
+		}
+		return !evs[i].arrive && evs[j].arrive // departures first
+	})
+
+	d := dbp.NewDispatcher(dbp.FirstFit(), 0, 1)
+	opened := 0
+	for _, e := range evs {
+		if e.arrive {
+			_, isNew, err := d.Arrive(e.id, e.size, nil, e.t)
+			if err != nil {
+				panic(err)
+			}
+			if isNew {
+				opened++
+			}
+		} else {
+			if _, _, err := d.Depart(e.id, e.t); err != nil {
+				panic(err)
+			}
+		}
+	}
+	end := evs[len(evs)-1].t
+	fmt.Printf("dispatched %d sessions over %.0f minutes\n", len(sessions), end)
+	fmt.Printf("servers opened: %d, peak concurrent: %d, GPU-server minutes: %.0f\n",
+		d.ServersUsed(), d.PeakServers(), d.AccumulatedUsage(end))
+
+	// Price the same workload under different policies: the MinUsageTime
+	// objective is (proportional to) the renting bill.
+	fmt.Println("\npolicy comparison ($0.90/hour GPU servers, hourly billing):")
+	for _, algo := range []dbp.Algorithm{dbp.FirstFit(), dbp.BestFit(), dbp.WorstFit(), dbp.NextFit()} {
+		res := dbp.MustRun(algo, sessions)
+		iv := dbp.CostOf(res, dbp.HourlyBilling(0.90, 60))
+		fmt.Printf("  %-10s %3d servers, usage %7.0f min, bill $%7.2f (overhead %.1f%%)\n",
+			res.Algorithm, res.NumBins(), res.TotalUsage, iv.Total, 100*iv.Overhead())
+	}
+}

@@ -1,0 +1,3 @@
+module dbp
+
+go 1.22

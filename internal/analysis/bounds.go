@@ -1,0 +1,55 @@
+package analysis
+
+// Theoretical bounds for MinUsageTime DBP as functions of the duration
+// ratio mu, collected from the paper (Secs. I, II, VIII and Theorem 1).
+// These are the rows of the bounds-landscape table (experiment E6) and
+// the reference lines every measured ratio is compared against.
+
+// FirstFitUpperBound is Theorem 1 of the paper: First Fit is
+// (mu+4)-competitive — the best known upper bound for MinUsageTime DBP,
+// and the first with multiplicative factor 1 on mu.
+func FirstFitUpperBound(mu float64) float64 { return mu + 4 }
+
+// FirstFitUpperBoundOld is the authors' earlier general bound 2*mu + 7
+// for First Fit ([5], [6]; cited in Sec. I), superseded by Theorem 1.
+func FirstFitUpperBoundOld(mu float64) float64 { return 2*mu + 7 }
+
+// FirstFitUpperBoundSizeRestricted is the earlier bound for instances
+// whose item sizes are at most 1/beta of the capacity (beta > 1):
+// (beta/(beta-1)) * mu + O(1) (Sec. I; the additive constant in the
+// source is 3*beta/(beta-1) + 1, reported here as stated there).
+func FirstFitUpperBoundSizeRestricted(mu, beta float64) float64 {
+	return beta/(beta-1)*mu + 3*beta/(beta-1) + 1
+}
+
+// NextFitUpperBound is Kamali & López-Ortiz's 2*mu + 1 upper bound for
+// Next Fit (Sec. II).
+func NextFitUpperBound(mu float64) float64 { return 2*mu + 1 }
+
+// NextFitLowerBound is the Section VIII construction's 2*mu lower bound
+// for Next Fit, showing the factor 2 is inherent.
+func NextFitLowerBound(mu float64) float64 { return 2 * mu }
+
+// HybridFirstFitUpperBound is the semi-online Hybrid First Fit bound
+// (8/7) * mu + O(1) from [6] (Sec. I); the additive constant is not
+// restated in this paper, so the multiplicative term is what E6 tabulates.
+func HybridFirstFitUpperBound(mu float64) float64 { return 8.0 / 7.0 * mu }
+
+// AnyOnlineLowerBound is the universal lower bound: no online algorithm
+// for MinUsageTime DBP is better than mu-competitive (Sec. I; proved
+// formally in [12]).
+func AnyOnlineLowerBound(mu float64) float64 { return mu }
+
+// AnyFitLowerBound is the lower bound mu + 1 for every Any Fit algorithm
+// (Sec. I, from [5], [6]).
+func AnyFitLowerBound(mu float64) float64 { return mu + 1 }
+
+// BestFitBounded reports whether Best Fit's competitive ratio is bounded
+// for a given mu — it is not, for any mu (Sec. I): included for table
+// completeness.
+func BestFitBounded() bool { return false }
+
+// GapTheorem1 returns the gap between Theorem 1's upper bound and the
+// universal lower bound: a constant 4, independent of mu — the paper's
+// headline "near-optimality of First Fit".
+func GapTheorem1() float64 { return FirstFitUpperBound(0) - AnyOnlineLowerBound(0) }

@@ -1,0 +1,60 @@
+package analysis
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.P50 != 3 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(2.5)) > 1e-12 {
+		t.Fatalf("std = %g", s.Std)
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Fatal("empty summary must be zero")
+	}
+	one := Summarize([]float64{7})
+	if one.Mean != 7 || one.Std != 0 || one.P99 != 7 {
+		t.Fatalf("single summary = %+v", one)
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	sorted := []float64{0, 10}
+	if got := Percentile(sorted, 0.5); got != 5 {
+		t.Fatalf("P50 = %g", got)
+	}
+	if got := Percentile(sorted, 0); got != 0 {
+		t.Fatalf("P0 = %g", got)
+	}
+	if got := Percentile(sorted, 1); got != 10 {
+		t.Fatalf("P100 = %g", got)
+	}
+	if !math.IsNaN(Percentile(nil, 0.5)) {
+		t.Fatal("empty percentile must be NaN")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("E0: demo", "algo", "ratio", "bins")
+	tb.AddRow("FirstFit", 1.2345678, 12)
+	tb.AddRow("NextFit", 2.0, 25)
+	tb.AddNote("seed %d", 42)
+	out := tb.String()
+	for _, want := range []string{"E0: demo", "algo", "FirstFit", "1.235", "NextFit", "note: seed 42"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table output missing %q:\n%s", want, out)
+		}
+	}
+	if tb.NumRows() != 2 {
+		t.Fatal("row count")
+	}
+	md := tb.Markdown()
+	if !strings.Contains(md, "| FirstFit |") || !strings.Contains(md, "**E0: demo**") {
+		t.Fatalf("markdown:\n%s", md)
+	}
+}

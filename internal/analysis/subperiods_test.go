@@ -1,0 +1,211 @@
+package analysis
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dbp/internal/bins"
+	"dbp/internal/interval"
+	"dbp/internal/item"
+	"dbp/internal/packing"
+	"dbp/internal/workload"
+)
+
+// smallItemInstance builds instances rich in small items (size < 1/2) so
+// the Section V machinery has material to work on.
+func smallItemInstance(rng *rand.Rand, n int, horizon, mu float64) item.List {
+	l := make(item.List, n)
+	for i := range l {
+		a := rng.Float64() * horizon
+		size := 0.05 + rng.Float64()*0.9
+		l[i] = mk(item.ID(i+1), size, a, a+1+rng.Float64()*(mu-1))
+	}
+	return l
+}
+
+func TestSelectSmallItemsWindowing(t *testing.T) {
+	// Bin with small items at t = 0, 1, 1.5, 5, 9 and mu = 2.
+	// Selection: start 0; window (0,2] -> last is 1.5; window (1.5,3.5] ->
+	// none -> first after = 5; window (5,7] -> none -> first after = 9.
+	// V = [0, 12): 9 is within mu of V end? 12-9=3 > 2, and 9 is the last
+	// candidate -> terminate by (ii).
+	// A large holder keeps the bin open for the whole window so every
+	// small item lands in bin 0 (large items are never selection
+	// candidates).
+	l := item.List{
+		mk(9, 0.6, 0, 12),
+		mk(1, 0.1, 0, 2),
+		mk(2, 0.1, 1, 3),
+		mk(3, 0.1, 1.5, 3.5),
+		mk(4, 0.1, 5, 7),
+		mk(5, 0.1, 9, 11),
+	}
+	res := packing.MustRun(packing.NewFirstFit(), l, nil)
+	b := res.Bins[0]
+	if res.NumBins() != 1 {
+		t.Fatalf("want all items in one bin, got %d bins", res.NumBins())
+	}
+	sel := SelectSmallItems(b, interval.New(0, 12), 2)
+	want := []float64{0, 1.5, 5, 9}
+	if len(sel) != len(want) {
+		t.Fatalf("selected %d items, want %d", len(sel), len(want))
+	}
+	for i, w := range want {
+		if sel[i].At != w {
+			t.Fatalf("selected[%d] at %g, want %g", i, sel[i].At, w)
+		}
+	}
+}
+
+func TestSelectSmallItemsTerminationNearVEnd(t *testing.T) {
+	// With V = [0, 3) and mu = 2, an item selected at t >= 1 stops the
+	// process even though later candidates exist.
+	l := item.List{
+		mk(1, 0.2, 0, 2),
+		mk(2, 0.2, 1.5, 3.5), // within window of item 1 -> selected (last in window)
+		mk(3, 0.2, 2.9, 4.9), // must NOT be selected: 1.5 is within mu of V end
+	}
+	res := packing.MustRun(packing.NewFirstFit(), l, nil)
+	sel := SelectSmallItems(res.Bins[0], interval.New(0, 3), 2)
+	if len(sel) != 2 || sel[1].At != 1.5 {
+		t.Fatalf("selected = %v", sel)
+	}
+}
+
+func TestSelectSmallItemsIgnoresLargeAndOutsideV(t *testing.T) {
+	l := item.List{
+		mk(1, 0.7, 0, 2),  // large: never selected
+		mk(2, 0.2, 1, 3),  // small, inside V
+		mk(3, 0.2, 8, 10), // small, outside V
+	}
+	res := packing.MustRun(packing.NewFirstFit(), l, nil)
+	sel := SelectSmallItems(res.Bins[0], interval.New(0, 4), 2)
+	if len(sel) != 1 || sel[0].Item.ID != 2 {
+		t.Fatalf("selected = %v", sel)
+	}
+}
+
+func TestSplitSubperiodsNoSmallItems(t *testing.T) {
+	v := interval.New(0, 5)
+	sps := SplitSubperiods(v, nil, 2)
+	if len(sps) != 1 || !sps[0].High || sps[0].Interval != v {
+		t.Fatalf("subperiods = %v", sps)
+	}
+}
+
+func TestSplitSubperiodsShapes(t *testing.T) {
+	// V = [0, 10), mu = 2, selected at 1, 2.5, 7.
+	// x_h,0 = [0,1); x_1 = [1,2.5) -> l only; x_2 = [2.5,7) -> l [2.5,4.5),
+	// h [4.5,7); x_3 = [7,10) -> l [7,9), h [9,10).
+	sel := []bins.Placement{
+		{Item: mk(1, 0.2, 1, 3), At: 1},
+		{Item: mk(2, 0.2, 2.5, 4.5), At: 2.5},
+		{Item: mk(3, 0.2, 7, 9), At: 7},
+	}
+	sps := SplitSubperiods(interval.New(0, 10), sel, 2)
+	type want struct {
+		lo, hi float64
+		high   bool
+	}
+	wants := []want{
+		{0, 1, true},
+		{1, 2.5, false},
+		{2.5, 4.5, false},
+		{4.5, 7, true},
+		{7, 9, false},
+		{9, 10, true},
+	}
+	if len(sps) != len(wants) {
+		t.Fatalf("got %d subperiods, want %d: %v", len(sps), len(wants), sps)
+	}
+	for i, w := range wants {
+		sp := sps[i]
+		if sp.Interval.Lo != w.lo || sp.Interval.Hi != w.hi || sp.High != w.high {
+			t.Fatalf("subperiod %d = %v (high=%v), want [%g,%g) high=%v",
+				i, sp.Interval, sp.High, w.lo, w.hi, w.high)
+		}
+	}
+}
+
+// E7 core: Propositions 3-6 hold on First Fit packings of random
+// small-item-rich workloads and of the paper-aligned stress instances.
+func TestVerifySubperiodsOnRandomFirstFitRuns(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 30; trial++ {
+		mu := 1.5 + rng.Float64()*6
+		l := smallItemInstance(rng, 120, 12, mu)
+		res := packing.MustRun(packing.NewFirstFit(), l, nil)
+		sps := SubperiodsOf(res)
+		if err := VerifySubperiods(res, sps); err != nil {
+			t.Fatalf("trial %d (mu=%g): %v", trial, mu, err)
+		}
+	}
+}
+
+func TestVerifySubperiodsOnStressWorkloads(t *testing.T) {
+	instances := []item.List{
+		workload.FirstFitSmallItemStress(6, 6, 3),
+		workload.FirstFitSmallItemStress(10, 4, 8),
+		workload.AnyFitTrap(10, 4),
+		workload.NextFitAdversary(10, 4),
+	}
+	for i, l := range instances {
+		res := packing.MustRun(packing.NewFirstFit(), l, nil)
+		sps := SubperiodsOf(res)
+		if err := VerifySubperiods(res, sps); err != nil {
+			t.Fatalf("instance %d: %v", i, err)
+		}
+	}
+}
+
+// The stress workload is designed to actually produce l-subperiods and
+// supplier bins — make sure the machinery is exercised, not vacuous.
+func TestSubperiodsNotVacuous(t *testing.T) {
+	l := workload.FirstFitSmallItemStress(8, 6, 3)
+	res := packing.MustRun(packing.NewFirstFit(), l, nil)
+	sps := SubperiodsOf(res)
+	var nL, nH, nSuppliers int
+	for _, bs := range sps {
+		for _, sp := range bs.Subperiods {
+			if sp.High {
+				nH++
+			} else {
+				nL++
+				if sp.SupplierIndex >= 0 {
+					nSuppliers++
+				}
+			}
+		}
+	}
+	if nL == 0 {
+		t.Fatal("stress workload produced no l-subperiods")
+	}
+	if nSuppliers != nL {
+		t.Fatalf("%d of %d l-subperiods have suppliers", nSuppliers, nL)
+	}
+}
+
+// Amortized-utilization telemetry: over every l-subperiod, the paper
+// guarantees the selected small item alone contributes demand; measure
+// the aggregate demand-to-length ratio that Sections VI-VII bound.
+func TestAmortizedLevelOverLSubperiodsPositive(t *testing.T) {
+	l := workload.FirstFitSmallItemStress(8, 6, 3)
+	res := packing.MustRun(packing.NewFirstFit(), l, nil)
+	var lenL, demand float64
+	for _, bs := range SubperiodsOf(res) {
+		for _, sp := range bs.Subperiods {
+			if sp.High {
+				continue
+			}
+			lenL += sp.Interval.Length()
+			// Demand of the bin over the l-subperiod.
+			mid := (sp.Interval.Lo + sp.Interval.Hi) / 2
+			demand += bs.Bin.LevelAt(mid) * sp.Interval.Length()
+		}
+	}
+	if lenL > 0 && demand <= 0 {
+		t.Fatal("zero demand over non-empty l-subperiods")
+	}
+	_ = math.Inf // keep math import if edits drop other uses
+}

@@ -1,0 +1,129 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"dbp/internal/packing"
+)
+
+// RenderTimeline draws an ASCII Gantt chart of a packing run: one row per
+// bin, time on the horizontal axis, '#' where the bin holds items, '.'
+// where it lingers empty (keep-alive), and spaces where it is closed.
+// width is the number of character columns for the time axis (minimum
+// 10). It is the visualization behind cmd/dbpsim's -gantt flag and makes
+// the usage-period structure of Sections IV–V visible at a glance.
+func RenderTimeline(res *packing.Result, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	if len(res.Bins) == 0 {
+		return "(empty packing)\n"
+	}
+	period := res.Items.PackingPeriod()
+	lo := period.Lo
+	hi := period.Hi + res.KeepAlive
+	if hi <= lo {
+		hi = lo + 1
+	}
+	scale := float64(width) / (hi - lo)
+	col := func(t float64) int {
+		c := int((t - lo) * scale)
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "time %-*s\n", width, fmt.Sprintf("[%.4g .. %.4g)", lo, hi))
+	for _, b := range res.Bins {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = ' '
+		}
+		u := b.UsagePeriod()
+		for c := col(u.Lo); c <= col(u.Hi-1e-12); c++ {
+			row[c] = '.'
+		}
+		// Overlay occupied stretches from the items.
+		for _, it := range b.Items() {
+			for c := col(it.Arrival); c <= col(it.Departure-1e-12); c++ {
+				row[c] = '#'
+			}
+		}
+		fmt.Fprintf(&sb, "bin %3d |%s| %.4g\n", b.Index, row, b.Usage())
+	}
+	fmt.Fprintf(&sb, "usage %.6g over %d bins; '#' occupied, '.' lingering\n", res.TotalUsage, res.NumBins())
+	return sb.String()
+}
+
+// LevelHistogram returns the distribution of instantaneous bin levels
+// over all open-bin time: fraction of bin-time spent at level in
+// [i/buckets, (i+1)/buckets). It quantifies utilization — the paper's
+// h-subperiods are the mass at level >= 1/2.
+func LevelHistogram(res *packing.Result, buckets int) []float64 {
+	if buckets < 1 {
+		buckets = 10
+	}
+	hist := make([]float64, buckets)
+	var total float64
+	for _, b := range res.Bins {
+		// Walk the bin's level as a step function over its event times.
+		type ev struct {
+			t  float64
+			dl float64
+		}
+		var evs []ev
+		for _, it := range b.Items() {
+			evs = append(evs, ev{it.Arrival, it.Size}, ev{it.Departure, -it.Size})
+		}
+		// Simple insertion sort by time (bins are small).
+		for i := 1; i < len(evs); i++ {
+			for j := i; j > 0 && evs[j].t < evs[j-1].t; j-- {
+				evs[j], evs[j-1] = evs[j-1], evs[j]
+			}
+		}
+		level := 0.0
+		for i := 0; i < len(evs); i++ {
+			level += evs[i].dl
+			if i+1 < len(evs) {
+				dt := evs[i+1].t - evs[i].t
+				if dt <= 0 || level <= 1e-12 {
+					continue
+				}
+				k := int(level * float64(buckets))
+				if k >= buckets {
+					k = buckets - 1
+				}
+				hist[k] += dt
+				total += dt
+			}
+		}
+	}
+	if total > 0 {
+		for i := range hist {
+			hist[i] /= total
+		}
+	}
+	return hist
+}
+
+// HighUtilizationFraction returns the fraction of occupied bin-time spent
+// at level >= 1/2 — Proposition 6 guarantees h-subperiods contribute to
+// this mass.
+func HighUtilizationFraction(res *packing.Result) float64 {
+	hist := LevelHistogram(res, 100)
+	var high float64
+	for i := 50; i < 100; i++ {
+		high += hist[i]
+	}
+	if math.IsNaN(high) {
+		return 0
+	}
+	return high
+}

@@ -1,0 +1,133 @@
+package binpack
+
+import "sort"
+
+// DefaultNodeLimit bounds the branch-and-bound search; it is generous
+// enough to solve every instance arising in this repository's experiments
+// (a few dozen concurrently active items) in microseconds-to-milliseconds.
+const DefaultNodeLimit = 2_000_000
+
+// Exact returns the minimum number of unit bins for the sizes, solving to
+// optimality with branch and bound. It panics only on sizes outside
+// (0, capacity] (caller bug). For adversarially hard instances the search
+// may be large; use ExactWithLimit to bound it.
+func Exact(sizes []float64, capacity float64) int {
+	n, ok := ExactWithLimit(sizes, capacity, DefaultNodeLimit)
+	if !ok {
+		// Fall back to the FFD upper bound; on pathological instances this
+		// is still within 11/9 of optimal. Callers needing certainty use
+		// ExactWithLimit directly.
+		return FirstFitDecreasing(sizes, capacity)
+	}
+	return n
+}
+
+// ExactWithLimit solves bin packing to optimality with at most maxNodes
+// search nodes. It returns (count, true) when the search completed and
+// (best incumbent, false) when the node budget ran out.
+func ExactWithLimit(sizes []float64, capacity float64, maxNodes int) (int, bool) {
+	if len(sizes) == 0 {
+		return 0, true
+	}
+	s := append([]float64(nil), sizes...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(s)))
+	if s[len(s)-1] <= 0 || s[0] > capacity+eps {
+		panic("binpack: size outside (0, capacity]")
+	}
+
+	lb := L2(s, capacity)
+	ub := FirstFitDecreasing(s, capacity)
+	if bfd := BestFitDecreasing(s, capacity); bfd < ub {
+		ub = bfd
+	}
+	if lb >= ub {
+		return ub, true
+	}
+
+	b := &bnb{
+		sizes:    s,
+		capacity: capacity,
+		best:     ub,
+		nodeCap:  maxNodes,
+	}
+	b.levels = make([]float64, 0, ub)
+	b.suffix = make([]float64, len(s)+1)
+	for i := len(s) - 1; i >= 0; i-- {
+		b.suffix[i] = b.suffix[i+1] + s[i]
+	}
+	b.search(0)
+	if b.nodes >= b.nodeCap {
+		return b.best, false
+	}
+	return b.best, true
+}
+
+type bnb struct {
+	sizes    []float64
+	capacity float64
+	levels   []float64 // open bin levels in creation order
+	best     int
+	nodes    int
+	nodeCap  int
+	suffix   []float64 // suffix[i] = total size of items i..n-1
+}
+
+func (b *bnb) search(i int) {
+	if b.nodes >= b.nodeCap {
+		return
+	}
+	b.nodes++
+	if i == len(b.sizes) {
+		if len(b.levels) < b.best {
+			b.best = len(b.levels)
+		}
+		return
+	}
+	// Prune: current bins + continuous bound on what the remaining items
+	// need beyond current free space.
+	free := 0.0
+	for _, lv := range b.levels {
+		free += b.capacity - lv
+	}
+	need := b.suffix[i] - free
+	extra := 0
+	if need > eps {
+		extra = int((need - eps) / b.capacity)
+		extra++ // ceil
+	}
+	if len(b.levels)+extra >= b.best {
+		return
+	}
+
+	s := b.sizes[i]
+	// Try existing bins, skipping duplicates: two bins at the same level
+	// are interchangeable, so branch only on the first.
+	tried := make(map[int64]bool, len(b.levels))
+	for k := range b.levels {
+		if b.levels[k]+s > b.capacity+eps {
+			continue
+		}
+		key := int64(b.levels[k] * 1e12)
+		if tried[key] {
+			continue
+		}
+		tried[key] = true
+		b.levels[k] += s
+		b.search(i + 1)
+		b.levels[k] -= s
+		if b.nodes >= b.nodeCap {
+			return
+		}
+		// Dominance: if the item fills the bin exactly, that placement is
+		// optimal — no need to try other bins or a new bin.
+		if b.levels[k]+s >= b.capacity-eps {
+			return
+		}
+	}
+	// Try a new bin (only if it can possibly improve on the incumbent).
+	if len(b.levels)+1 < b.best {
+		b.levels = append(b.levels, s)
+		b.search(i + 1)
+		b.levels = b.levels[:len(b.levels)-1]
+	}
+}

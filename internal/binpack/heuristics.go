@@ -1,0 +1,192 @@
+// Package binpack solves the classical (static) bin packing problem: pack
+// a multiset of sizes into the fewest unit-capacity bins. The MinUsageTime
+// DBP optimum OPT_total(R) = ∫ OPT(R,t) dt (paper Sec. III-C) needs the
+// classical optimum OPT(R,t) at every instant, because the offline
+// adversary may repack everything at any time. This package provides an
+// exact branch-and-bound solver with the Martello–Toth L2 lower bound,
+// plus First Fit Decreasing / Best Fit Decreasing heuristics used as upper
+// bounds and as initial incumbents.
+package binpack
+
+import (
+	"math"
+	"sort"
+)
+
+// eps tolerates float64 accumulation error in capacity checks, matching
+// the online simulator's admission tolerance.
+const eps = 1e-9
+
+// FirstFit packs the sizes in the given order with the First Fit rule and
+// returns the number of bins used. Sizes must lie in (0, capacity].
+func FirstFit(sizes []float64, capacity float64) int {
+	var levels []float64
+	for _, s := range sizes {
+		placed := false
+		for i, lv := range levels {
+			if lv+s <= capacity+eps {
+				levels[i] += s
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			levels = append(levels, s)
+		}
+	}
+	return len(levels)
+}
+
+// FirstFitDecreasing sorts sizes in non-increasing order and applies First
+// Fit. FFD uses at most 11/9*OPT + 6/9 bins (Dósa), making it a tight
+// upper bound for the exact solver's initial incumbent.
+func FirstFitDecreasing(sizes []float64, capacity float64) int {
+	s := append([]float64(nil), sizes...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(s)))
+	return FirstFit(s, capacity)
+}
+
+// BestFitDecreasing sorts sizes in non-increasing order and places each
+// into the fullest bin with room.
+func BestFitDecreasing(sizes []float64, capacity float64) int {
+	s := append([]float64(nil), sizes...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(s)))
+	var levels []float64
+	for _, x := range s {
+		best := -1
+		for i, lv := range levels {
+			if lv+x <= capacity+eps && (best < 0 || lv > levels[best]) {
+				best = i
+			}
+		}
+		if best < 0 {
+			levels = append(levels, x)
+		} else {
+			levels[best] += x
+		}
+	}
+	return len(levels)
+}
+
+// L1 returns the continuous lower bound ceil(sum/capacity).
+func L1(sizes []float64, capacity float64) int {
+	var sum float64
+	for _, s := range sizes {
+		sum += s
+	}
+	if sum <= eps {
+		return 0
+	}
+	return int(math.Ceil(sum/capacity - 1e-12))
+}
+
+// L2 returns the Martello–Toth lower bound: for each threshold alpha in
+// (0, capacity/2], items larger than capacity-alpha each need their own
+// bin, items in (capacity/2, capacity-alpha] need distinct bins too, and
+// the mid-range mass in [alpha, capacity/2] must fit in the slack those
+// bins leave. L2 dominates L1 and is exact on many instances.
+func L2(sizes []float64, capacity float64) int {
+	if len(sizes) == 0 {
+		return 0
+	}
+	best := L1(sizes, capacity)
+	// Candidate alphas: distinct sizes <= capacity/2, plus the residuals
+	// capacity-s of large items (alpha = 0 is handled by L1). Only values
+	// in (0, capacity/2] are valid thresholds.
+	var alphas []float64
+	for _, s := range sizes {
+		if s <= capacity/2+eps {
+			alphas = append(alphas, s)
+		} else if r := capacity - s; r > eps && r <= capacity/2+eps {
+			alphas = append(alphas, r)
+		}
+	}
+	sort.Float64s(alphas)
+	alphas = dedup(alphas)
+	for _, alpha := range alphas {
+		var n1, n2 int
+		var sum2, sum3 float64
+		for _, s := range sizes {
+			switch {
+			case s > capacity-alpha+eps:
+				n1++
+			case s > capacity/2+eps:
+				n2++
+				sum2 += s
+			case s >= alpha-eps:
+				sum3 += s
+			}
+		}
+		slack := float64(n2)*capacity - sum2
+		extra := 0
+		if sum3 > slack+eps {
+			extra = int(math.Ceil((sum3-slack)/capacity - 1e-12))
+		}
+		if lb := n1 + n2 + extra; lb > best {
+			best = lb
+		}
+	}
+	return best
+}
+
+func dedup(sorted []float64) []float64 {
+	out := sorted[:0]
+	for i, v := range sorted {
+		if i == 0 || v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// FirstFitVec packs vector sizes (each a point in [0, capacity]^d) with
+// the First Fit rule under per-dimension capacity, returning the bin
+// count. It is the heuristic upper bound used for the multi-dimensional
+// extension experiments (paper Sec. IX future work).
+func FirstFitVec(sizes [][]float64, capacity float64) int {
+	var levels [][]float64
+	for _, v := range sizes {
+		placed := false
+		for _, lv := range levels {
+			ok := len(lv) == len(v)
+			for d := 0; ok && d < len(v); d++ {
+				if lv[d]+v[d] > capacity+eps {
+					ok = false
+				}
+			}
+			if ok {
+				for d := range v {
+					lv[d] += v[d]
+				}
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			levels = append(levels, append([]float64(nil), v...))
+		}
+	}
+	return len(levels)
+}
+
+// L1Vec returns the per-dimension continuous lower bound for vector sizes:
+// the max over dimensions of ceil(load_d / capacity).
+func L1Vec(sizes [][]float64, capacity float64) int {
+	if len(sizes) == 0 {
+		return 0
+	}
+	d := len(sizes[0])
+	best := 0
+	for k := 0; k < d; k++ {
+		var sum float64
+		for _, v := range sizes {
+			sum += v[k]
+		}
+		if sum > eps {
+			if lb := int(math.Ceil(sum/capacity - 1e-12)); lb > best {
+				best = lb
+			}
+		}
+	}
+	return best
+}

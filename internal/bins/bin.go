@@ -1,0 +1,288 @@
+// Package bins models the bins (cloud servers) of the MinUsageTime DBP
+// problem. A bin opens when it receives its first item and closes when its
+// last item departs (paper Sec. III-B); its usage period is the half-open
+// interval from opening to closing, and the objective of the problem is the
+// total length of all usage periods.
+//
+// Bins record every placement, so analyses can reconstruct the level of a
+// bin at any time after the fact (items are never migrated, so an item's
+// residence interval in its bin equals its active interval).
+package bins
+
+import (
+	"fmt"
+	"math"
+
+	"dbp/internal/interval"
+	"dbp/internal/item"
+)
+
+// Eps is the tolerance used for capacity admission checks: an item fits if
+// level + size <= capacity + Eps. It absorbs float64 accumulation error on
+// instances whose sizes are not exactly representable; it is far below the
+// size granularity of every workload in this repository.
+const Eps = 1e-9
+
+// Placement records one item being placed into a bin at a given time.
+// Because items are never reassigned, the item resides in the bin for its
+// entire active interval.
+type Placement struct {
+	Item item.Item
+	At   float64
+}
+
+// Bin is a single server of given capacity (1.0 per dimension in the
+// paper's normalization). Create bins with Open.
+type Bin struct {
+	// Index is the bin's position in the temporal order of openings,
+	// starting at 0. First Fit's "earliest opened" rule is "lowest Index".
+	Index int
+	// Capacity is the per-dimension capacity; the paper uses 1.
+	Capacity float64
+	// LingerWhenEmpty keeps the bin open (empty, "lingering") when its
+	// last item departs instead of closing it — the keep-alive server
+	// model. The owner (bins.Ledger) is then responsible for closing the
+	// bin via Close once the keep-alive budget expires.
+	LingerWhenEmpty bool
+
+	openedAt   float64
+	closedAt   float64 // NaN while open
+	emptySince float64 // NaN while occupied; set when the bin empties but lingers (keep-alive)
+	level      []float64
+	active     map[item.ID]item.Item
+	placements []Placement
+}
+
+// Open creates a new open bin with the given index and capacity at time t,
+// supporting dim resource dimensions (1 for the paper's scalar problem).
+func Open(index int, capacity float64, dim int, t float64) *Bin {
+	if dim < 1 {
+		panic("bins: dim must be >= 1")
+	}
+	if capacity <= 0 {
+		panic("bins: capacity must be positive")
+	}
+	return &Bin{
+		Index:      index,
+		Capacity:   capacity,
+		openedAt:   t,
+		closedAt:   math.NaN(),
+		emptySince: math.NaN(),
+		level:      make([]float64, dim),
+		active:     make(map[item.ID]item.Item),
+	}
+}
+
+// IsOpen reports whether the bin still holds at least one item (or was just
+// opened and has not yet closed).
+func (b *Bin) IsOpen() bool { return math.IsNaN(b.closedAt) }
+
+// OpenedAt returns the opening time of the bin.
+func (b *Bin) OpenedAt() float64 { return b.openedAt }
+
+// ClosedAt returns the closing time, panicking if the bin is still open.
+func (b *Bin) ClosedAt() float64 {
+	if b.IsOpen() {
+		panic(fmt.Sprintf("bins: bin %d still open", b.Index))
+	}
+	return b.closedAt
+}
+
+// UsagePeriod returns U_k = [opening, closing) for a closed bin.
+func (b *Bin) UsagePeriod() interval.Interval {
+	return interval.Interval{Lo: b.openedAt, Hi: b.ClosedAt()}
+}
+
+// Usage returns |U_k|, the bin's contribution to the objective, for a
+// closed bin.
+func (b *Bin) Usage() float64 { return b.ClosedAt() - b.openedAt }
+
+// Level returns the current scalar level of the bin: the total size of
+// active items (first dimension for vector bins, which is the max-component
+// convention used by size-classifying algorithms).
+func (b *Bin) Level() float64 {
+	if len(b.level) == 0 {
+		return 0
+	}
+	return b.level[0]
+}
+
+// LevelVec returns the current level in every dimension. The returned
+// slice is a copy.
+func (b *Bin) LevelVec() []float64 {
+	out := make([]float64, len(b.level))
+	copy(out, b.level)
+	return out
+}
+
+// Gap returns the remaining scalar capacity, Capacity - Level.
+func (b *Bin) Gap() float64 { return b.Capacity - b.Level() }
+
+// NumActive returns the number of items currently in the bin.
+func (b *Bin) NumActive() int { return len(b.active) }
+
+// Dim returns the number of resource dimensions of the bin.
+func (b *Bin) Dim() int { return len(b.level) }
+
+// Fits reports whether the item can be placed without exceeding capacity in
+// any dimension (with Eps tolerance).
+func (b *Bin) Fits(it item.Item) bool {
+	if !b.IsOpen() {
+		return false
+	}
+	v := it.SizeVec()
+	if len(v) != len(b.level) {
+		return false
+	}
+	for d := range v {
+		if b.level[d]+v[d] > b.Capacity+Eps {
+			return false
+		}
+	}
+	return true
+}
+
+// Place adds the item to the bin at time t. It panics if the item does not
+// fit, if the bin is closed, or if t precedes the opening time: all of
+// these indicate simulator bugs, not recoverable conditions.
+func (b *Bin) Place(it item.Item, t float64) {
+	if !b.Fits(it) {
+		panic(fmt.Sprintf("bins: item %v does not fit in bin %d (level %g)", it, b.Index, b.Level()))
+	}
+	if t < b.openedAt {
+		panic(fmt.Sprintf("bins: placement at %g before bin %d opened at %g", t, b.Index, b.openedAt))
+	}
+	if _, dup := b.active[it.ID]; dup {
+		panic(fmt.Sprintf("bins: item %d already in bin %d", it.ID, b.Index))
+	}
+	v := it.SizeVec()
+	for d := range v {
+		b.level[d] += v[d]
+	}
+	b.active[it.ID] = it
+	b.emptySince = math.NaN() // a lingering bin is back in service
+	b.placements = append(b.placements, Placement{Item: it, At: t})
+}
+
+// Remove takes the item out of the bin at time t. If the bin becomes
+// empty it closes at t. Removing an absent item panics.
+func (b *Bin) Remove(id item.ID, t float64) {
+	it, ok := b.active[id]
+	if !ok {
+		panic(fmt.Sprintf("bins: item %d not in bin %d", id, b.Index))
+	}
+	// Back-annotate the actual departure time into the placement history,
+	// so post-hoc reconstruction (LevelAt, ItemsAt) works even for items
+	// whose departure was unknown at placement time (streaming callers).
+	for i := range b.placements {
+		if b.placements[i].Item.ID == id {
+			b.placements[i].Item.Departure = t
+			break
+		}
+	}
+	v := it.SizeVec()
+	for d := range v {
+		b.level[d] -= v[d]
+		if b.level[d] < 0 {
+			// Clamp accumulated float error; a materially negative level
+			// would have been caught by the capacity invariant tests.
+			b.level[d] = 0
+		}
+	}
+	delete(b.active, id)
+	if len(b.active) == 0 {
+		if b.LingerWhenEmpty {
+			b.emptySince = t
+		} else {
+			b.closedAt = t
+		}
+	}
+}
+
+// Lingering reports whether the bin is open but empty (keep-alive mode).
+func (b *Bin) Lingering() bool { return b.IsOpen() && !math.IsNaN(b.emptySince) }
+
+// EmptySince returns the time the bin last became empty; it panics if the
+// bin is not lingering.
+func (b *Bin) EmptySince() float64 {
+	if !b.Lingering() {
+		panic(fmt.Sprintf("bins: bin %d is not lingering", b.Index))
+	}
+	return b.emptySince
+}
+
+// Close shuts a lingering bin at time t (>= the time it emptied). It
+// panics if the bin is occupied or already closed.
+func (b *Bin) Close(t float64) {
+	if !b.Lingering() {
+		panic(fmt.Sprintf("bins: Close on non-lingering bin %d", b.Index))
+	}
+	if t < b.emptySince {
+		panic(fmt.Sprintf("bins: Close(%g) before bin %d emptied at %g", t, b.Index, b.emptySince))
+	}
+	b.closedAt = t
+	b.emptySince = math.NaN()
+}
+
+// Active returns the IDs of items currently in the bin (unordered).
+func (b *Bin) Active() []item.ID {
+	out := make([]item.ID, 0, len(b.active))
+	for id := range b.active {
+		out = append(out, id)
+	}
+	return out
+}
+
+// ActiveItems returns the items currently in the bin (unordered).
+func (b *Bin) ActiveItems() item.List {
+	out := make(item.List, 0, len(b.active))
+	for _, it := range b.active {
+		out = append(out, it)
+	}
+	return out
+}
+
+// Placements returns every item ever placed in this bin, in placement
+// order. The returned slice is shared; callers must not modify it.
+func (b *Bin) Placements() []Placement { return b.placements }
+
+// Items returns the items ever placed in the bin, in placement order.
+func (b *Bin) Items() item.List {
+	out := make(item.List, len(b.placements))
+	for i, p := range b.placements {
+		out[i] = p.Item
+	}
+	return out
+}
+
+// LevelAt reconstructs the scalar level of the bin at time t from its
+// placement history (valid once the simulation has run past t).
+func (b *Bin) LevelAt(t float64) float64 {
+	var lv float64
+	for _, p := range b.placements {
+		if p.Item.Interval().Contains(t) {
+			lv += p.Item.Size
+		}
+	}
+	return lv
+}
+
+// ItemsAt reconstructs the set of items resident in the bin at time t.
+func (b *Bin) ItemsAt(t float64) item.List {
+	var out item.List
+	for _, p := range b.placements {
+		if p.Item.Interval().Contains(t) {
+			out = append(out, p.Item)
+		}
+	}
+	return out
+}
+
+// String renders the bin for diagnostics.
+func (b *Bin) String() string {
+	state := "open"
+	if !b.IsOpen() {
+		state = fmt.Sprintf("closed@%g", b.closedAt)
+	}
+	return fmt.Sprintf("bin{#%d level=%g n=%d opened@%g %s}", b.Index, b.Level(), len(b.active), b.openedAt, state)
+}

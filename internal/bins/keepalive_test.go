@@ -1,0 +1,186 @@
+package bins
+
+import (
+	"math"
+	"testing"
+
+	"dbp/internal/item"
+)
+
+func TestBinLingeringLifecycle(t *testing.T) {
+	b := Open(0, 1, 1, 0)
+	b.LingerWhenEmpty = true
+	b.Place(mkItem(1, 0.5, 0, 2), 0)
+	if b.Lingering() {
+		t.Fatal("occupied bin must not linger")
+	}
+	b.Remove(1, 2)
+	if !b.IsOpen() || !b.Lingering() {
+		t.Fatal("bin must linger open when empty")
+	}
+	if b.EmptySince() != 2 {
+		t.Fatalf("emptySince = %g", b.EmptySince())
+	}
+	// Reuse cancels lingering.
+	b.Place(mkItem(2, 0.5, 3, 5), 3)
+	if b.Lingering() {
+		t.Fatal("reused bin must not linger")
+	}
+	b.Remove(2, 5)
+	b.Close(6)
+	if b.IsOpen() || b.ClosedAt() != 6 || b.Usage() != 6 {
+		t.Fatalf("closed at %g, usage %g", b.ClosedAt(), b.Usage())
+	}
+}
+
+func TestBinClosePanics(t *testing.T) {
+	cases := []func(){
+		func() { // occupied
+			b := Open(0, 1, 1, 0)
+			b.LingerWhenEmpty = true
+			b.Place(mkItem(1, 0.5, 0, 2), 0)
+			b.Close(1)
+		},
+		func() { // before emptySince
+			b := Open(0, 1, 1, 0)
+			b.LingerWhenEmpty = true
+			b.Place(mkItem(1, 0.5, 0, 2), 0)
+			b.Remove(1, 2)
+			b.Close(1)
+		},
+		func() { // EmptySince on occupied bin
+			b := Open(0, 1, 1, 0)
+			b.Place(mkItem(1, 0.5, 0, 2), 0)
+			_ = b.EmptySince()
+		},
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestBinPlacePanicsAfterOpenTime(t *testing.T) {
+	b := Open(0, 1, 1, 5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic placing before open time")
+		}
+	}()
+	b.Place(mkItem(1, 0.5, 0, 10), 4)
+}
+
+func TestLedgerKeepAliveCloseExpired(t *testing.T) {
+	g := NewLedgerKeepAlive(1, 1, 2)
+	g.OpenNew(mkItem(1, 0.5, 0, 1), 0)
+	g.OpenNew(mkItem(2, 0.9, 0, 3), 0)
+	if _, closed := g.Remove(1, 1); closed {
+		t.Fatal("keep-alive bin must not close on empty")
+	}
+	if g.NumOpen() != 2 {
+		t.Fatal("lingering bin must remain open")
+	}
+	// Before expiry: nothing closes.
+	if n := g.CloseExpired(2.5); n != 0 {
+		t.Fatalf("closed %d before expiry", n)
+	}
+	// At expiry (1 + 2 = 3): closes, at exactly t=3.
+	if n := g.CloseExpired(3); n != 1 {
+		t.Fatalf("closed %d at expiry", n)
+	}
+	b := g.AllBins()[0]
+	if b.IsOpen() || b.ClosedAt() != 3 {
+		t.Fatalf("bin 0 closed at %v", b)
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Drain the other bin, then CloseAllLingering.
+	g.Remove(2, 3)
+	g.CloseAllLingering()
+	if g.NumOpen() != 0 {
+		t.Fatal("all bins must be closed")
+	}
+	if g.TotalUsage(0) != 3+5 {
+		t.Fatalf("usage = %g, want 8 ([0,3) + [0,5))", g.TotalUsage(0))
+	}
+	if g.KeepAlive() != 2 {
+		t.Fatal("keep-alive accessor")
+	}
+}
+
+func TestLedgerKeepAliveReuseCancelsShutdown(t *testing.T) {
+	g := NewLedgerKeepAlive(1, 1, 10)
+	b := g.OpenNew(mkItem(1, 0.5, 0, 1), 0)
+	g.Remove(1, 1)
+	g.PlaceIn(b, mkItem(2, 0.5, 2, 4), 2)
+	if n := g.CloseExpired(100); n != 0 {
+		t.Fatal("occupied bin must not expire")
+	}
+	g.Remove(2, 4)
+	g.CloseAllLingering()
+	if b.ClosedAt() != 14 {
+		t.Fatalf("closed at %g, want 14 (4 + keep-alive 10)", b.ClosedAt())
+	}
+}
+
+func TestNewLedgerKeepAlivePanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewLedgerKeepAlive(1, 1, -1)
+}
+
+func TestOpenNewCapSetsPerBinCapacity(t *testing.T) {
+	g := NewLedger(1, 1)
+	b := g.OpenNewCap(mkItem(1, 0.2, 0, 1), 0, 0.25)
+	if b.Capacity != 0.25 {
+		t.Fatalf("capacity = %g", b.Capacity)
+	}
+	if b.Fits(mkItem(2, 0.1, 0, 1)) != (b.Level()+0.1 <= 0.25+Eps) {
+		t.Fatal("fits must respect the per-bin capacity")
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUsagePeriodOfLingeringBin(t *testing.T) {
+	b := Open(0, 1, 1, 1)
+	b.LingerWhenEmpty = true
+	b.Place(mkItem(1, 0.5, 1, 2), 1)
+	b.Remove(1, 2)
+	if !math.IsNaN(func() (v float64) {
+		defer func() { recover(); v = math.NaN() }()
+		v = b.ClosedAt()
+		return v
+	}()) {
+		t.Fatal("ClosedAt must panic while lingering")
+	}
+	b.Close(5)
+	if got := b.UsagePeriod(); got.Lo != 1 || got.Hi != 5 {
+		t.Fatalf("usage period = %v", got)
+	}
+}
+
+func TestItemsAtDuringLinger(t *testing.T) {
+	b := Open(0, 1, 1, 0)
+	b.LingerWhenEmpty = true
+	it := item.Item{ID: 1, Size: 0.5, Arrival: 0, Departure: 2}
+	b.Place(it, 0)
+	b.Remove(1, 2)
+	if n := len(b.ItemsAt(3)); n != 0 {
+		t.Fatalf("%d items during linger, want 0", n)
+	}
+	if lv := b.LevelAt(3); lv != 0 {
+		t.Fatalf("level %g during linger", lv)
+	}
+}

@@ -1,0 +1,222 @@
+package bins
+
+import (
+	"fmt"
+	"math"
+
+	"dbp/internal/item"
+)
+
+// Ledger tracks every bin ever opened during a packing run, the currently
+// open subset, which bin each item lives in, and the running objective
+// statistics (total usage time, maximum number of concurrently open bins —
+// the classical DBP objective the paper contrasts with, Sec. II).
+type Ledger struct {
+	capacity  float64
+	dim       int
+	keepAlive float64 // 0: close bins the moment they empty
+
+	all      []*Bin
+	open     []*Bin // sorted by Index ascending (== opening order)
+	location map[item.ID]*Bin
+
+	maxConcurrentOpen int
+	closedUsage       float64
+}
+
+// NewLedger creates a ledger for bins of the given capacity and dimension.
+func NewLedger(capacity float64, dim int) *Ledger {
+	if dim < 1 {
+		panic("bins: dim must be >= 1")
+	}
+	return &Ledger{
+		capacity: capacity,
+		dim:      dim,
+		location: make(map[item.ID]*Bin),
+	}
+}
+
+// NewLedgerKeepAlive creates a ledger whose bins linger open for
+// keepAlive time units after emptying (the cloud keep-alive model: a
+// server whose billed hour is already paid may as well stay up). The
+// owner must call CloseExpired as simulation time advances and
+// CloseAllLingering at the end.
+func NewLedgerKeepAlive(capacity float64, dim int, keepAlive float64) *Ledger {
+	if keepAlive < 0 {
+		panic("bins: negative keep-alive")
+	}
+	g := NewLedger(capacity, dim)
+	g.keepAlive = keepAlive
+	return g
+}
+
+// KeepAlive returns the configured keep-alive duration (0 = none).
+func (g *Ledger) KeepAlive() float64 { return g.keepAlive }
+
+// CloseExpired closes every lingering bin whose keep-alive budget has run
+// out by time now (expiry at emptySince + keepAlive, half-open: a bin
+// expiring exactly at now is closed and cannot serve an arrival at now).
+// It returns the number of bins closed.
+func (g *Ledger) CloseExpired(now float64) int {
+	if g.keepAlive == 0 {
+		return 0
+	}
+	closed := 0
+	kept := g.open[:0]
+	for _, b := range g.open {
+		if b.Lingering() && b.EmptySince()+g.keepAlive <= now {
+			b.Close(b.EmptySince() + g.keepAlive)
+			g.closedUsage += b.Usage()
+			closed++
+		} else {
+			kept = append(kept, b)
+		}
+	}
+	g.open = kept
+	return closed
+}
+
+// CloseAllLingering closes every remaining lingering bin at its natural
+// expiry (emptySince + keepAlive); called when the workload drains.
+func (g *Ledger) CloseAllLingering() {
+	kept := g.open[:0]
+	for _, b := range g.open {
+		if b.Lingering() {
+			b.Close(b.EmptySince() + g.keepAlive)
+			g.closedUsage += b.Usage()
+		} else {
+			kept = append(kept, b)
+		}
+	}
+	g.open = kept
+}
+
+// Capacity returns the per-dimension bin capacity.
+func (g *Ledger) Capacity() float64 { return g.capacity }
+
+// Dim returns the resource dimensionality.
+func (g *Ledger) Dim() int { return g.dim }
+
+// OpenBins returns the currently open bins in opening order (ascending
+// Index). The slice is shared; callers must not modify it.
+func (g *Ledger) OpenBins() []*Bin { return g.open }
+
+// AllBins returns every bin ever opened, in opening order. Shared slice.
+func (g *Ledger) AllBins() []*Bin { return g.all }
+
+// NumOpen returns the number of currently open bins.
+func (g *Ledger) NumOpen() int { return len(g.open) }
+
+// NumOpened returns the total number of bins ever opened.
+func (g *Ledger) NumOpened() int { return len(g.all) }
+
+// MaxConcurrentOpen returns the peak number of simultaneously open bins
+// observed so far (the classical DBP objective).
+func (g *Ledger) MaxConcurrentOpen() int { return g.maxConcurrentOpen }
+
+// OpenNew opens a fresh bin at time t, places the item in it, and returns
+// the bin.
+func (g *Ledger) OpenNew(it item.Item, t float64) *Bin {
+	return g.OpenNewCap(it, t, g.capacity)
+}
+
+// OpenNewCap opens a fresh bin with an explicit capacity (heterogeneous
+// fleets open different tiers; homogeneous runs use OpenNew).
+func (g *Ledger) OpenNewCap(it item.Item, t, capacity float64) *Bin {
+	b := Open(len(g.all), capacity, g.dim, t)
+	b.LingerWhenEmpty = g.keepAlive > 0
+	g.all = append(g.all, b)
+	g.open = append(g.open, b)
+	if len(g.open) > g.maxConcurrentOpen {
+		g.maxConcurrentOpen = len(g.open)
+	}
+	b.Place(it, t)
+	g.location[it.ID] = b
+	return b
+}
+
+// PlaceIn places the item into an existing open bin at time t.
+func (g *Ledger) PlaceIn(b *Bin, it item.Item, t float64) {
+	b.Place(it, t)
+	g.location[it.ID] = b
+}
+
+// Remove removes the item from whichever bin holds it, closing the bin if
+// it empties. It returns the bin the item was in and whether the bin
+// closed. Removing an unknown item panics (simulator bug).
+func (g *Ledger) Remove(id item.ID, t float64) (b *Bin, closed bool) {
+	b, ok := g.location[id]
+	if !ok {
+		panic(fmt.Sprintf("bins: item %d is in no bin", id))
+	}
+	delete(g.location, id)
+	b.Remove(id, t)
+	if b.IsOpen() {
+		return b, false
+	}
+	g.closedUsage += b.Usage()
+	for i, ob := range g.open {
+		if ob == b {
+			g.open = append(g.open[:i], g.open[i+1:]...)
+			break
+		}
+	}
+	return b, true
+}
+
+// Locate returns the bin currently holding the item, or nil.
+func (g *Ledger) Locate(id item.ID) *Bin { return g.location[id] }
+
+// TotalUsage returns the accumulated usage time of all bins, counting open
+// bins up to time now. After the simulation drains (all items departed),
+// every bin is closed and now is ignored.
+func (g *Ledger) TotalUsage(now float64) float64 {
+	u := g.closedUsage
+	for _, b := range g.open {
+		u += now - b.OpenedAt()
+	}
+	return u
+}
+
+// CheckInvariants verifies structural invariants of the ledger and its
+// bins; tests call it after every event. It returns an error describing
+// the first violation found.
+func (g *Ledger) CheckInvariants() error {
+	openSet := make(map[*Bin]bool, len(g.open))
+	prev := -1
+	for _, b := range g.open {
+		if !b.IsOpen() {
+			return fmt.Errorf("closed bin %d on open list", b.Index)
+		}
+		if b.Index <= prev {
+			return fmt.Errorf("open list out of order at bin %d", b.Index)
+		}
+		prev = b.Index
+		openSet[b] = true
+		for d, lv := range b.LevelVec() {
+			if lv > b.Capacity+Eps {
+				return fmt.Errorf("bin %d over capacity in dim %d: %g", b.Index, d, lv)
+			}
+			if lv < -Eps {
+				return fmt.Errorf("bin %d negative level in dim %d: %g", b.Index, d, lv)
+			}
+		}
+		if b.NumActive() == 0 && !b.Lingering() {
+			return fmt.Errorf("open bin %d has no items and is not lingering", b.Index)
+		}
+	}
+	for id, b := range g.location {
+		if !openSet[b] {
+			return fmt.Errorf("item %d located in non-open bin %d", id, b.Index)
+		}
+	}
+	for i, b := range g.all {
+		if b.Index != i {
+			return fmt.Errorf("bin at position %d has index %d", i, b.Index)
+		}
+		if !b.IsOpen() && math.IsNaN(b.ClosedAt()) {
+			return fmt.Errorf("bin %d closed at NaN", b.Index)
+		}
+	}
+	return nil
+}

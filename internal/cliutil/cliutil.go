@@ -1,0 +1,59 @@
+// Package cliutil holds the small helpers shared by the command-line
+// tools: loading a workload from a trace file or a named generator.
+package cliutil
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"dbp/internal/gaming"
+	"dbp/internal/item"
+	"dbp/internal/trace"
+	"dbp/internal/workload"
+)
+
+// GenSpec selects a generated workload.
+type GenSpec struct {
+	Kind string // uniform, pareto, gaming, bursty
+	N    int
+	Rate float64
+	Mu   float64
+	Seed int64
+}
+
+// LoadJobs loads a workload from tracePath (CSV or JSON by extension) if
+// non-empty, else generates one from spec.
+func LoadJobs(tracePath string, spec GenSpec) (item.List, error) {
+	if tracePath != "" {
+		f, err := os.Open(tracePath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		if strings.HasSuffix(tracePath, ".json") {
+			return trace.ReadJSON(f)
+		}
+		return trace.ReadCSV(f)
+	}
+	switch spec.Kind {
+	case "uniform":
+		return workload.Generate(workload.UniformConfig(spec.N, spec.Rate, spec.Mu, spec.Seed)), nil
+	case "pareto":
+		return workload.Generate(workload.ParetoConfig(spec.N, spec.Rate, spec.Mu, spec.Seed)), nil
+	case "gaming":
+		l, _ := gaming.Sessions(gaming.Config{
+			Catalog: gaming.DefaultCatalog(), Rate: spec.Rate, N: spec.N, Seed: spec.Seed,
+		})
+		return l, nil
+	case "bursty":
+		return workload.GenerateBursty(workload.BurstyConfig{
+			Config:      workload.UniformConfig(spec.N, spec.Rate, spec.Mu, spec.Seed),
+			BurstFactor: 10, MeanCalm: 30, MeanBurst: 3,
+		}), nil
+	case "":
+		return nil, fmt.Errorf("pass -trace FILE or -gen {uniform,pareto,gaming,bursty}")
+	default:
+		return nil, fmt.Errorf("unknown generator %q (uniform, pareto, gaming, bursty)", spec.Kind)
+	}
+}

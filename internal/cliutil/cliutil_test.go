@@ -1,0 +1,76 @@
+package cliutil
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dbp/internal/trace"
+	"dbp/internal/workload"
+)
+
+func TestLoadJobsGenerators(t *testing.T) {
+	for _, kind := range []string{"uniform", "pareto", "gaming", "bursty"} {
+		l, err := LoadJobs("", GenSpec{Kind: kind, N: 50, Rate: 1, Mu: 4, Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if len(l) != 50 {
+			t.Fatalf("%s: %d items", kind, len(l))
+		}
+		if err := l.Validate(); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+	}
+}
+
+func TestLoadJobsErrors(t *testing.T) {
+	if _, err := LoadJobs("", GenSpec{}); err == nil {
+		t.Fatal("empty spec must error")
+	}
+	if _, err := LoadJobs("", GenSpec{Kind: "nope"}); err == nil {
+		t.Fatal("unknown generator must error")
+	}
+	if _, err := LoadJobs("/does/not/exist.csv", GenSpec{}); err == nil {
+		t.Fatal("missing file must error")
+	}
+}
+
+func TestLoadJobsTraceFiles(t *testing.T) {
+	dir := t.TempDir()
+	l := workload.Generate(workload.UniformConfig(30, 2, 4, 9))
+
+	csvPath := filepath.Join(dir, "jobs.csv")
+	f, err := os.Create(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteCSV(f, l); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	got, err := LoadJobs(csvPath, GenSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 30 {
+		t.Fatalf("csv load: %d items", len(got))
+	}
+
+	jsonPath := filepath.Join(dir, "jobs.json")
+	f, err = os.Create(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteJSON(f, l); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	got, err = LoadJobs(jsonPath, GenSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 30 {
+		t.Fatalf("json load: %d items", len(got))
+	}
+}

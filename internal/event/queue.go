@@ -1,0 +1,122 @@
+// Package event provides the deterministic event queue that drives the
+// online packing simulation. Events are ordered by time; at equal times,
+// departures are processed before arrivals (intervals are half-open, so an
+// item departing at t is already gone when another arrives at t), and ties
+// within a kind preserve submission order. This ordering is exactly what
+// the paper's adversarial constructions assume ("at time 0, let n pairs of
+// items arrive in sequence", Sec. VIII).
+package event
+
+import (
+	"container/heap"
+
+	"dbp/internal/item"
+)
+
+// Kind distinguishes arrivals from departures.
+type Kind uint8
+
+const (
+	// Depart events fire when an item leaves its bin. They sort before
+	// Arrive events at the same timestamp.
+	Depart Kind = iota
+	// Arrive events fire when an item must be placed.
+	Arrive
+)
+
+// String returns "arrive" or "depart".
+func (k Kind) String() string {
+	if k == Arrive {
+		return "arrive"
+	}
+	return "depart"
+}
+
+// Event is a timed arrival or departure of an item.
+type Event struct {
+	Time float64
+	Kind Kind
+	Item item.Item
+	seq  int64 // submission order, breaks remaining ties deterministically
+	// arrivalsFirst inverts the Kind tie rule (set by the owning queue).
+	arrivalsFirst bool
+}
+
+// Queue is a priority queue of events ordered by (Time, Kind, seq).
+// The zero value is ready to use (departures before arrivals at ties).
+type Queue struct {
+	h             eventHeap
+	seq           int64
+	arrivalsFirst bool
+}
+
+// NewFromList builds a queue holding the arrival and departure events of
+// every item in the list. Arrival events are submitted in the order items
+// appear after a stable sort by (Arrival, ID), so generators control
+// same-instant sequencing via IDs.
+func NewFromList(l item.List) *Queue {
+	return NewFromListOrder(l, false)
+}
+
+// NewFromListOrder is NewFromList with a configurable same-timestamp tie
+// rule: arrivalsFirst false (the model's default, matching half-open
+// intervals) processes departures before arrivals at equal times;
+// arrivalsFirst true flips that — an ablation (DESIGN.md §6) under which
+// capacity freed at time t is NOT reusable by an arrival at t.
+func NewFromListOrder(l item.List, arrivalsFirst bool) *Queue {
+	q := &Queue{arrivalsFirst: arrivalsFirst}
+	for _, it := range l.SortedByArrival() {
+		q.Push(Event{Time: it.Arrival, Kind: Arrive, Item: it})
+		q.Push(Event{Time: it.Departure, Kind: Depart, Item: it})
+	}
+	return q
+}
+
+// Push adds an event to the queue.
+func (q *Queue) Push(e Event) {
+	e.seq = q.seq
+	e.arrivalsFirst = q.arrivalsFirst
+	q.seq++
+	heap.Push(&q.h, e)
+}
+
+// Pop removes and returns the next event. It panics if the queue is empty;
+// callers must check Len first.
+func (q *Queue) Pop() Event {
+	return heap.Pop(&q.h).(Event)
+}
+
+// Peek returns the next event without removing it. It panics on empty.
+func (q *Queue) Peek() Event { return q.h[0] }
+
+// Len returns the number of pending events.
+func (q *Queue) Len() int { return len(q.h) }
+
+type eventHeap []Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].Time != h[j].Time {
+		return h[i].Time < h[j].Time
+	}
+	if h[i].Kind != h[j].Kind {
+		if h[i].arrivalsFirst {
+			return h[i].Kind > h[j].Kind // ablation: Arrive before Depart
+		}
+		return h[i].Kind < h[j].Kind // default: Depart (0) before Arrive (1)
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(Event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,142 @@
+package event
+
+import (
+	"math/rand"
+	"testing"
+
+	"dbp/internal/item"
+)
+
+func TestQueueOrdering(t *testing.T) {
+	var q Queue
+	q.Push(Event{Time: 2, Kind: Arrive})
+	q.Push(Event{Time: 1, Kind: Arrive})
+	q.Push(Event{Time: 1, Kind: Depart})
+	q.Push(Event{Time: 0, Kind: Depart})
+
+	want := []struct {
+		time float64
+		kind Kind
+	}{{0, Depart}, {1, Depart}, {1, Arrive}, {2, Arrive}}
+	for i, w := range want {
+		e := q.Pop()
+		if e.Time != w.time || e.Kind != w.kind {
+			t.Fatalf("event %d = (%g, %v), want (%g, %v)", i, e.Time, e.Kind, w.time, w.kind)
+		}
+	}
+	if q.Len() != 0 {
+		t.Error("queue not drained")
+	}
+}
+
+func TestQueueFIFOWithinTies(t *testing.T) {
+	var q Queue
+	for i := 0; i < 10; i++ {
+		q.Push(Event{Time: 5, Kind: Arrive, Item: item.Item{ID: item.ID(i)}})
+	}
+	for i := 0; i < 10; i++ {
+		e := q.Pop()
+		if e.Item.ID != item.ID(i) {
+			t.Fatalf("tie order broken: got %d at position %d", e.Item.ID, i)
+		}
+	}
+}
+
+func TestNewFromList(t *testing.T) {
+	l := item.List{
+		{ID: 2, Size: 0.5, Arrival: 0, Departure: 2},
+		{ID: 1, Size: 0.5, Arrival: 0, Departure: 1},
+	}
+	q := NewFromList(l)
+	if q.Len() != 4 {
+		t.Fatalf("len = %d, want 4", q.Len())
+	}
+	// At time 0 both arrive; ID 1 (lower) must arrive first per the stable
+	// sort by (Arrival, ID).
+	e := q.Pop()
+	if e.Kind != Arrive || e.Item.ID != 1 {
+		t.Fatalf("first event = %+v", e)
+	}
+	e = q.Pop()
+	if e.Kind != Arrive || e.Item.ID != 2 {
+		t.Fatalf("second event = %+v", e)
+	}
+	// At time 1, item 1 departs before anything else happens.
+	e = q.Pop()
+	if e.Kind != Depart || e.Item.ID != 1 || e.Time != 1 {
+		t.Fatalf("third event = %+v", e)
+	}
+}
+
+func TestDepartBeforeArriveAtSameTime(t *testing.T) {
+	l := item.List{
+		{ID: 1, Size: 1, Arrival: 0, Departure: 1},
+		{ID: 2, Size: 1, Arrival: 1, Departure: 2},
+	}
+	q := NewFromList(l)
+	q.Pop() // arrive 1 at t=0
+	e := q.Pop()
+	if e.Kind != Depart || e.Item.ID != 1 {
+		t.Fatalf("expected departure of 1 before arrival of 2 at t=1, got %+v", e)
+	}
+	e = q.Pop()
+	if e.Kind != Arrive || e.Item.ID != 2 {
+		t.Fatalf("expected arrival of 2, got %+v", e)
+	}
+}
+
+func TestPeek(t *testing.T) {
+	var q Queue
+	q.Push(Event{Time: 3, Kind: Arrive})
+	if q.Peek().Time != 3 {
+		t.Error("peek wrong")
+	}
+	if q.Len() != 1 {
+		t.Error("peek must not remove")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Arrive.String() != "arrive" || Depart.String() != "depart" {
+		t.Error("Kind.String mismatch")
+	}
+}
+
+func TestQueueRandomizedMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		var q Queue
+		n := 1 + rng.Intn(200)
+		for i := 0; i < n; i++ {
+			q.Push(Event{Time: float64(rng.Intn(50)), Kind: Kind(rng.Intn(2))})
+		}
+		prev := Event{Time: -1}
+		for q.Len() > 0 {
+			e := q.Pop()
+			if e.Time < prev.Time {
+				t.Fatal("time went backwards")
+			}
+			if e.Time == prev.Time && e.Kind < prev.Kind {
+				t.Fatal("arrive popped before depart at same time")
+			}
+			prev = e
+		}
+	}
+}
+
+func TestArrivalsFirstOrder(t *testing.T) {
+	l := item.List{
+		{ID: 1, Size: 1, Arrival: 0, Departure: 1},
+		{ID: 2, Size: 1, Arrival: 1, Departure: 2},
+	}
+	q := NewFromListOrder(l, true)
+	q.Pop() // arrive 1 at t=0
+	e := q.Pop()
+	if e.Kind != Arrive || e.Item.ID != 2 {
+		t.Fatalf("arrivals-first: expected arrival of 2 before departure of 1, got %v of %d", e.Kind, e.Item.ID)
+	}
+	e = q.Pop()
+	if e.Kind != Depart || e.Item.ID != 1 {
+		t.Fatalf("expected departure of 1, got %v of %d", e.Kind, e.Item.ID)
+	}
+}

@@ -1,0 +1,161 @@
+package interval
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPanicsOnInverted(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for inverted bounds")
+		}
+	}()
+	New(2, 1)
+}
+
+func TestNewPanicsOnNaN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for NaN bound")
+		}
+	}()
+	New(math.NaN(), 1)
+}
+
+func TestLengthAndEmpty(t *testing.T) {
+	cases := []struct {
+		iv    Interval
+		len   float64
+		empty bool
+	}{
+		{New(0, 0), 0, true},
+		{New(1, 1), 0, true},
+		{New(0, 1), 1, false},
+		{New(-2, 3), 5, false},
+		{New(0.5, 0.75), 0.25, false},
+	}
+	for _, c := range cases {
+		if got := c.iv.Length(); got != c.len {
+			t.Errorf("%v.Length() = %g, want %g", c.iv, got, c.len)
+		}
+		if got := c.iv.Empty(); got != c.empty {
+			t.Errorf("%v.Empty() = %v, want %v", c.iv, got, c.empty)
+		}
+	}
+}
+
+func TestContainsHalfOpen(t *testing.T) {
+	iv := New(1, 2)
+	if !iv.Contains(1) {
+		t.Error("left endpoint must be contained")
+	}
+	if iv.Contains(2) {
+		t.Error("right endpoint must not be contained (half-open)")
+	}
+	if !iv.Contains(1.5) {
+		t.Error("interior point must be contained")
+	}
+	if iv.Contains(0.999) || iv.Contains(2.001) {
+		t.Error("points outside must not be contained")
+	}
+}
+
+func TestOverlapsTouchingIsDisjoint(t *testing.T) {
+	a, b := New(0, 1), New(1, 2)
+	if a.Overlaps(b) || b.Overlaps(a) {
+		t.Error("touching half-open intervals must not overlap")
+	}
+	c := New(0.5, 1.5)
+	if !a.Overlaps(c) || !c.Overlaps(a) {
+		t.Error("genuinely overlapping intervals must overlap")
+	}
+	empty := Interval{}
+	if a.Overlaps(empty) || empty.Overlaps(a) {
+		t.Error("empty interval overlaps nothing")
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	a, b := New(0, 10), New(5, 15)
+	got := a.Intersect(b)
+	if got != New(5, 10) {
+		t.Errorf("intersect = %v, want [5, 10)", got)
+	}
+	if !New(0, 1).Intersect(New(2, 3)).Empty() {
+		t.Error("disjoint intervals must intersect to empty")
+	}
+	if !New(0, 1).Intersect(New(1, 2)).Empty() {
+		t.Error("touching intervals must intersect to empty")
+	}
+}
+
+func TestHull(t *testing.T) {
+	a, b := New(0, 1), New(3, 4)
+	if got := a.Hull(b); got != New(0, 4) {
+		t.Errorf("hull = %v, want [0, 4)", got)
+	}
+	if got := (Interval{}).Hull(b); got != b {
+		t.Errorf("hull with empty = %v, want %v", got, b)
+	}
+	if got := a.Hull(Interval{}); got != a {
+		t.Errorf("hull with empty = %v, want %v", got, a)
+	}
+}
+
+func TestShift(t *testing.T) {
+	if got := New(1, 2).Shift(3); got != New(4, 5) {
+		t.Errorf("shift = %v, want [4, 5)", got)
+	}
+}
+
+func TestContainsInterval(t *testing.T) {
+	outer := New(0, 10)
+	if !outer.ContainsInterval(New(2, 5)) {
+		t.Error("subset must be contained")
+	}
+	if !outer.ContainsInterval(Interval{}) {
+		t.Error("empty interval is a subset of everything")
+	}
+	if outer.ContainsInterval(New(5, 11)) {
+		t.Error("overhanging interval is not contained")
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := New(0, 1.5).String(); got != "[0, 1.5)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// Property: intersection measure is symmetric and bounded by each length.
+func TestIntersectProperties(t *testing.T) {
+	f := func(a0, a1, b0, b1 float64) bool {
+		a := normalize(a0, a1)
+		b := normalize(b0, b1)
+		x, y := a.Intersect(b), b.Intersect(a)
+		if x != y {
+			return false
+		}
+		return x.Length() <= a.Length()+1e-12 && x.Length() <= b.Length()+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func normalize(a, b float64) Interval {
+	a, b = clampFinite(a), clampFinite(b)
+	if b < a {
+		a, b = b, a
+	}
+	return New(a, b)
+}
+
+func clampFinite(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0
+	}
+	return math.Mod(x, 1e6)
+}

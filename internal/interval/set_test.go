@@ -1,0 +1,191 @@
+package interval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetZeroValue(t *testing.T) {
+	var s Set
+	if s.Measure() != 0 || s.Len() != 0 {
+		t.Error("zero Set must be empty")
+	}
+	s.Add(New(0, 1))
+	if s.Measure() != 1 {
+		t.Error("zero Set must be usable after Add")
+	}
+}
+
+func TestSetMergeOverlapping(t *testing.T) {
+	s := NewSet(New(0, 2), New(1, 3))
+	if s.Len() != 1 || s.Measure() != 3 {
+		t.Errorf("got %v (measure %g), want single [0,3)", s, s.Measure())
+	}
+}
+
+func TestSetMergeTouching(t *testing.T) {
+	s := NewSet(New(0, 1), New(1, 2))
+	if s.Len() != 1 || s.Measure() != 2 {
+		t.Errorf("touching intervals must merge: %v", s)
+	}
+}
+
+func TestSetDisjointStayDisjoint(t *testing.T) {
+	s := NewSet(New(0, 1), New(2, 3), New(4, 5))
+	if s.Len() != 3 || s.Measure() != 3 {
+		t.Errorf("got %v", s)
+	}
+	if !s.Contains(0) || s.Contains(1) || !s.Contains(2.5) || s.Contains(3.7) {
+		t.Error("Contains misbehaves on disjoint set")
+	}
+}
+
+func TestSetBridgingAdd(t *testing.T) {
+	s := NewSet(New(0, 1), New(2, 3))
+	s.Add(New(0.5, 2.5))
+	if s.Len() != 1 || s.Measure() != 3 {
+		t.Errorf("bridging add must merge all: %v", s)
+	}
+}
+
+func TestSetAddEmptyIsNoop(t *testing.T) {
+	s := NewSet(New(0, 1))
+	s.Add(Interval{})
+	if s.Len() != 1 || s.Measure() != 1 {
+		t.Errorf("empty add changed set: %v", s)
+	}
+}
+
+func TestSetHull(t *testing.T) {
+	s := NewSet(New(5, 6), New(0, 1))
+	if got := s.Hull(); got != New(0, 6) {
+		t.Errorf("hull = %v", got)
+	}
+	if got := NewSet().Hull(); !got.Empty() {
+		t.Errorf("empty set hull = %v", got)
+	}
+}
+
+func TestSetIntersectInterval(t *testing.T) {
+	s := NewSet(New(0, 1), New(2, 3))
+	if got := s.IntersectInterval(New(0.5, 2.5)); got != 1.0 {
+		t.Errorf("intersect measure = %g, want 1", got)
+	}
+	if s.Overlaps(New(1, 2)) {
+		t.Error("gap must not overlap")
+	}
+	if !s.Overlaps(New(0.9, 1.1)) {
+		t.Error("must overlap first interval")
+	}
+}
+
+func TestSetAddSetAndClone(t *testing.T) {
+	a := NewSet(New(0, 1))
+	b := NewSet(New(0.5, 2))
+	c := a.Clone()
+	a.AddSet(b)
+	if a.Measure() != 2 {
+		t.Errorf("AddSet measure = %g", a.Measure())
+	}
+	if c.Measure() != 1 {
+		t.Error("Clone must be independent")
+	}
+}
+
+func TestSpan(t *testing.T) {
+	// Figure 1 style example: three overlapping items plus one detached.
+	got := Span([]Interval{New(0, 2), New(1, 3), New(2.5, 4), New(10, 11)})
+	if got != 5 {
+		t.Errorf("span = %g, want 5", got)
+	}
+	if Span(nil) != 0 {
+		t.Error("span of nothing is 0")
+	}
+}
+
+func TestSetString(t *testing.T) {
+	if got := NewSet().String(); got != "{}" {
+		t.Errorf("empty set String = %q", got)
+	}
+	if got := NewSet(New(0, 1), New(2, 3)).String(); got != "[0, 1) ∪ [2, 3)" {
+		t.Errorf("set String = %q", got)
+	}
+}
+
+// Property: the canonical form invariants hold after random adds, and the
+// measure equals a brute-force grid estimate within tolerance.
+func TestSetCanonicalInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		s := NewSet()
+		var raw []Interval
+		for k := 0; k < 30; k++ {
+			lo := math.Floor(rng.Float64()*64) / 4
+			length := math.Floor(rng.Float64()*16) / 4
+			iv := New(lo, lo+length)
+			raw = append(raw, iv)
+			s.Add(iv)
+		}
+		ivs := s.Intervals()
+		for i := range ivs {
+			if ivs[i].Empty() {
+				t.Fatalf("canonical set holds empty interval: %v", s)
+			}
+			if i > 0 && ivs[i-1].Hi >= ivs[i].Lo {
+				t.Fatalf("canonical set not sorted/disjoint/merged: %v", s)
+			}
+		}
+		// Brute-force measure on a fine grid (all endpoints are multiples of 1/4).
+		var brute float64
+		for x := 0.0; x < 100; x += 0.25 {
+			mid := x + 0.125
+			covered := false
+			for _, iv := range raw {
+				if iv.Contains(mid) {
+					covered = true
+					break
+				}
+			}
+			if covered {
+				brute += 0.25
+			}
+		}
+		if math.Abs(brute-s.Measure()) > 1e-9 {
+			t.Fatalf("measure %g != brute force %g for %v", s.Measure(), brute, s)
+		}
+	}
+}
+
+// Property: adding intervals in any order yields the same canonical set.
+func TestSetOrderIndependence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(20)
+		ivs := make([]Interval, n)
+		for i := range ivs {
+			lo := rng.Float64() * 100
+			ivs[i] = New(lo, lo+rng.Float64()*10)
+		}
+		a := NewSet(ivs...)
+		// Reverse order.
+		b := NewSet()
+		for i := n - 1; i >= 0; i-- {
+			b.Add(ivs[i])
+		}
+		ai, bi := a.Intervals(), b.Intervals()
+		if len(ai) != len(bi) {
+			return false
+		}
+		for i := range ai {
+			if ai[i] != bi[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

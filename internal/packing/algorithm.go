@@ -1,0 +1,96 @@
+// Package packing implements online algorithms for the MinUsageTime
+// Dynamic Bin Packing problem and the event-driven simulator that runs
+// them over an item list (Tang, Li, Ren, Cai: "On First Fit Bin Packing
+// for Online Cloud Server Allocation", IPDPS 2016).
+//
+// The online model: when an item arrives, the algorithm sees only the
+// item's size and the current state of the open bins — never the item's
+// departure time (unknown at arrival) and never future arrivals. The
+// Algorithm interface enforces the first restriction structurally by
+// passing an Arrival view that carries no times. Placements are
+// irrevocable: items are never migrated between bins.
+package packing
+
+import (
+	"math"
+
+	"dbp/internal/bins"
+	"dbp/internal/item"
+)
+
+// Arrival is the online-visible view of an arriving item: its identity and
+// resource demand, but not its departure time. Departure is NaN in the
+// online model; it is populated only when the simulator runs with
+// Options.Clairvoyant, which is NOT the paper's setting — clairvoyant
+// policies exist as baselines quantifying the value of knowing departures
+// (the paper contrasts with interval scheduling, where ending times are
+// known; Sec. II).
+type Arrival struct {
+	ID    item.ID
+	Size  float64
+	Sizes []float64 // nil for 1-D items
+	// At is the arrival time — the current wall clock, which every
+	// online policy legitimately knows.
+	At float64
+	// Departure is NaN unless the run is clairvoyant.
+	Departure float64
+}
+
+// view converts a full item to its online-visible arrival view at time t.
+func view(it item.Item, t float64) Arrival {
+	return Arrival{ID: it.ID, Size: it.Size, Sizes: it.Sizes, At: t, Departure: math.NaN()}
+}
+
+// sizeVec returns the demand vector of the arrival ({Size} for 1-D).
+func (a Arrival) sizeVec() []float64 {
+	if len(a.Sizes) == 0 {
+		return []float64{a.Size}
+	}
+	return a.Sizes
+}
+
+// Algorithm is an online bin packing policy.
+//
+// Place returns the open bin that should receive the arrival, or nil to
+// open a new bin. Returning a bin that cannot accommodate the arrival is a
+// policy bug and makes the simulator fail the run. open is the list of
+// currently open bins in opening order (ascending index); implementations
+// must not modify it or retain it past the call. Implementations may
+// retain references to individual bins across calls (e.g. Next Fit's
+// available bin) and must tolerate those bins having closed.
+//
+// Reset restores the algorithm's initial state so one value can be reused
+// across runs.
+type Algorithm interface {
+	Name() string
+	Place(a Arrival, open []*bins.Bin) *bins.Bin
+	Reset()
+}
+
+// fits reports whether the arrival fits in the bin under the bin's
+// capacity with tolerance, in every dimension.
+func fits(b *bins.Bin, a Arrival) bool {
+	v := a.sizeVec()
+	if b.Dim() != len(v) {
+		return false
+	}
+	lv := b.LevelVec()
+	for d := range v {
+		if lv[d]+v[d] > b.Capacity+bins.Eps {
+			return false
+		}
+	}
+	return true
+}
+
+// fitting filters the open bins down to those that can accommodate the
+// arrival, preserving opening order.
+func fitting(open []*bins.Bin, a Arrival) []*bins.Bin {
+	var out []*bins.Bin
+	for _, b := range open {
+		if fits(b, a) {
+			out = append(out, b)
+		}
+	}
+	return out
+}

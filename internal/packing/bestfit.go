@@ -1,0 +1,35 @@
+package packing
+
+import "dbp/internal/bins"
+
+// BestFit places each item into the fitting open bin with the least
+// remaining capacity (highest level), breaking ties toward the earliest
+// opened bin. The paper notes (Sec. I) that for MinUsageTime DBP the
+// competitive ratio of Best Fit is NOT bounded for any given mu — in sharp
+// contrast to classical bin packing, where Best Fit is one of the good
+// heuristics. Experiment E4 reproduces the unboundedness.
+type BestFit struct{}
+
+// NewBestFit returns a Best Fit policy.
+func NewBestFit() *BestFit { return &BestFit{} }
+
+// Name implements Algorithm.
+func (*BestFit) Name() string { return "BestFit" }
+
+// Place returns the fitting bin with minimal gap (ties: lowest index).
+func (*BestFit) Place(a Arrival, open []*bins.Bin) *bins.Bin {
+	var best *bins.Bin
+	bestGap := 0.0
+	for _, b := range open {
+		if !fits(b, a) {
+			continue
+		}
+		if best == nil || b.Gap() < bestGap-bins.Eps {
+			best, bestGap = b, b.Gap()
+		}
+	}
+	return best
+}
+
+// Reset implements Algorithm; Best Fit is stateless.
+func (*BestFit) Reset() {}

@@ -1,0 +1,136 @@
+package packing
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dbp/internal/item"
+)
+
+// The defining property: FastFirstFit produces bit-identical packings to
+// the naive FirstFit on every instance.
+func TestFastFirstFitMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(321))
+	for trial := 0; trial < 30; trial++ {
+		n := 50 + rng.Intn(300)
+		l := randomInstance(rng, n, 4+rng.Float64()*12)
+		naive := MustRun(NewFirstFit(), l, nil)
+		fast := MustRun(NewFastFirstFit(), l, nil)
+		if naive.TotalUsage != fast.TotalUsage || naive.NumBins() != fast.NumBins() {
+			t.Fatalf("trial %d: naive usage %g/%d bins, fast %g/%d bins",
+				trial, naive.TotalUsage, naive.NumBins(), fast.TotalUsage, fast.NumBins())
+		}
+		for id, b := range naive.Assignment {
+			if fast.Assignment[id] != b {
+				t.Fatalf("trial %d: item %d assigned to %d (naive) vs %d (fast)",
+					trial, id, b, fast.Assignment[id])
+			}
+		}
+		if err := fast.Verify(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestFastFirstFitOnAdversaries(t *testing.T) {
+	// The gap-seal trap exercises exact-gap queries (item size == gap).
+	for _, mu := range []float64{2, 8} {
+		for _, n := range []int{8, 64} {
+			l := trapInstance(n, mu)
+			naive := MustRun(NewFirstFit(), l, nil)
+			fast := MustRun(NewFastFirstFit(), l, nil)
+			if naive.TotalUsage != fast.TotalUsage {
+				t.Fatalf("n=%d mu=%g: usage %g vs %g", n, mu, naive.TotalUsage, fast.TotalUsage)
+			}
+			for id, b := range naive.Assignment {
+				if fast.Assignment[id] != b {
+					t.Fatalf("n=%d mu=%g: item %d differs", n, mu, id)
+				}
+			}
+		}
+	}
+}
+
+// trapInstance mirrors workload.AnyFitTrap without the import cycle risk
+// (workload imports packing).
+func trapInstance(n int, mu float64) item.List {
+	delta := 1.0 / (2.0 * float64(n) * float64(n+1))
+	l := make(item.List, 0, 2*n)
+	for i := 0; i < n; i++ {
+		g := float64(i+1) * delta
+		l = append(l, mk(item.ID(i+1), 1-g, 0, 1))
+	}
+	for i := 0; i < n; i++ {
+		g := float64(i+1) * delta
+		l = append(l, mk(item.ID(n+i+1), g, 0, mu))
+	}
+	return l
+}
+
+func TestFastFirstFitWithKeepAlive(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	l := randomInstance(rng, 200, 8)
+	naive := MustRun(NewFirstFit(), l, &Options{KeepAlive: 0.7})
+	fast := MustRun(NewFastFirstFit(), l, &Options{KeepAlive: 0.7})
+	if naive.TotalUsage != fast.TotalUsage || naive.NumBins() != fast.NumBins() {
+		t.Fatalf("keep-alive: naive %g/%d vs fast %g/%d",
+			naive.TotalUsage, naive.NumBins(), fast.TotalUsage, fast.NumBins())
+	}
+}
+
+func TestFastFirstFitVectorFallback(t *testing.T) {
+	l := item.List{
+		{ID: 1, Size: 0.8, Sizes: []float64{0.8, 0.1}, Arrival: 0, Departure: 5},
+		{ID: 2, Size: 0.8, Sizes: []float64{0.1, 0.8}, Arrival: 0, Departure: 5},
+		{ID: 3, Size: 0.8, Sizes: []float64{0.8, 0.8}, Arrival: 0, Departure: 5},
+	}
+	naive := MustRun(NewFirstFit(), l, nil)
+	fast := MustRun(NewFastFirstFit(), l, nil)
+	if naive.NumBins() != fast.NumBins() {
+		t.Fatalf("vector fallback: %d vs %d bins", naive.NumBins(), fast.NumBins())
+	}
+}
+
+func TestGapTreeQueries(t *testing.T) {
+	var f FastFirstFit
+	// Empty tree.
+	if got := f.tree.firstWithGap(0.1); got != -1 {
+		t.Fatalf("empty tree returned %d", got)
+	}
+	// Direct tree exercises via a tiny run.
+	l := item.List{
+		mk(1, 0.9, 0, 10), // bin 0, gap 0.1
+		mk(2, 0.5, 0, 10), // bin 1, gap 0.5
+		mk(3, 0.7, 0, 10), // bin 2, gap 0.3
+		mk(4, 0.4, 1, 10), // first bin with gap >= 0.4: bin 1
+	}
+	res := MustRun(NewFastFirstFit(), l, nil)
+	if res.Assignment[4] != 1 {
+		t.Fatalf("item 4 in bin %d, want 1", res.Assignment[4])
+	}
+	if math.IsNaN(res.TotalUsage) {
+		t.Fatal("NaN usage")
+	}
+}
+
+// Soak: a large instance through the segment-tree engine with full
+// verification (guarded by -short).
+func TestFastFirstFitSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	rng := rand.New(rand.NewSource(2027))
+	l := make(item.List, 50000)
+	for i := range l {
+		a := rng.Float64() * 2000
+		l[i] = mk(item.ID(i+1), 0.02+rng.Float64()*0.9, a, a+0.5+rng.Float64()*15)
+	}
+	res := MustRun(NewFastFirstFit(), l, nil)
+	if err := res.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if res.NumBins() == 0 || res.TotalUsage <= l.Span() {
+		t.Fatalf("implausible soak result: %v", res)
+	}
+}

@@ -1,0 +1,120 @@
+package packing
+
+import (
+	"math/rand"
+	"testing"
+
+	"dbp/internal/item"
+)
+
+func testFleet() []ServerType {
+	return []ServerType{
+		{Name: "small", Capacity: 0.25},
+		{Name: "large", Capacity: 1.0},
+		{Name: "medium", Capacity: 0.5},
+	}
+}
+
+func TestRunFleetRightSize(t *testing.T) {
+	l := item.List{
+		mk(1, 0.2, 0, 10), // fits small
+		mk(2, 0.4, 0, 10), // fits medium
+		mk(3, 0.9, 0, 10), // needs large
+	}
+	res, err := RunFleet(NewFirstFit(), l, testFleet(), RightSize(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if res.NumBins() != 3 {
+		t.Fatalf("bins = %d, want 3", res.NumBins())
+	}
+	caps := map[float64]int{}
+	for _, b := range res.Bins {
+		caps[b.Capacity]++
+	}
+	if caps[0.25] != 1 || caps[0.5] != 1 || caps[1.0] != 1 {
+		t.Fatalf("tier usage = %v", caps)
+	}
+}
+
+func TestRunFleetLargestConsolidates(t *testing.T) {
+	l := item.List{
+		mk(1, 0.2, 0, 10),
+		mk(2, 0.2, 1, 10),
+		mk(3, 0.2, 2, 10),
+	}
+	right, err := RunFleet(NewFirstFit(), l, testFleet(), RightSize(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Right-sizing opens a small (0.25) for item 1; items 2 and 3 do not
+	// fit it -> three smalls.
+	if right.NumBins() != 3 {
+		t.Fatalf("right-size bins = %d, want 3", right.NumBins())
+	}
+	large, err := RunFleet(NewFirstFit(), l, testFleet(), LargestType(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large.NumBins() != 1 {
+		t.Fatalf("largest-type bins = %d, want 1", large.NumBins())
+	}
+}
+
+func TestRunFleetRejectsOversizeAndBadFleet(t *testing.T) {
+	small := []ServerType{{Name: "s", Capacity: 0.25}}
+	if _, err := RunFleet(NewFirstFit(), item.List{mk(1, 0.5, 0, 1)}, small, nil, nil); err == nil {
+		t.Fatal("item above every tier must be rejected")
+	}
+	if _, err := RunFleet(NewFirstFit(), item.List{mk(1, 0.5, 0, 1)}, nil, nil, nil); err == nil {
+		t.Fatal("empty fleet must be rejected")
+	}
+	bad := []ServerType{{Name: "x", Capacity: 1.5}}
+	if _, err := RunFleet(NewFirstFit(), item.List{mk(1, 0.5, 0, 1)}, bad, nil, nil); err == nil {
+		t.Fatal("capacity > 1 must be rejected")
+	}
+}
+
+func TestRunFleetBadChooser(t *testing.T) {
+	l := item.List{mk(1, 0.5, 0, 1)}
+	tooSmall := func(a Arrival, fleet []ServerType) int { return 0 } // smallest tier = 0.25
+	if _, err := RunFleet(NewFirstFit(), l, testFleet(), tooSmall, nil); err == nil {
+		t.Fatal("chooser picking a too-small tier must error")
+	}
+	outOfRange := func(a Arrival, fleet []ServerType) int { return 99 }
+	if _, err := RunFleet(NewFirstFit(), l, testFleet(), outOfRange, nil); err == nil {
+		t.Fatal("out-of-range tier must error")
+	}
+}
+
+func TestRunFleetSingleUnitTierEqualsRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(70))
+	l := randomInstance(rng, 120, 8)
+	unit := []ServerType{{Name: "unit", Capacity: 1}}
+	fleet, err := RunFleet(NewFirstFit(), l, unit, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := MustRun(NewFirstFit(), l, nil)
+	if fleet.TotalUsage != plain.TotalUsage || fleet.NumBins() != plain.NumBins() {
+		t.Fatalf("unit fleet diverged from plain run: %g/%d vs %g/%d",
+			fleet.TotalUsage, fleet.NumBins(), plain.TotalUsage, plain.NumBins())
+	}
+}
+
+func TestRunFleetWithKeepAlive(t *testing.T) {
+	l := item.List{
+		mk(1, 0.2, 0, 1),
+		mk(2, 0.2, 2, 3),
+	}
+	res, err := RunFleet(NewFirstFit(), l, testFleet(), RightSize(), &Options{KeepAlive: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumBins() != 1 {
+		t.Fatalf("bins = %d, want 1 (lingering small reused)", res.NumBins())
+	}
+}

@@ -1,0 +1,122 @@
+package packing
+
+import (
+	"fmt"
+
+	"dbp/internal/bins"
+)
+
+// classify returns the size class of an arrival under harmonic-style
+// boundaries with k classes: class i (0-based, i < k-1) holds sizes in
+// (1/(i+2), 1/(i+1)], and the last class holds all remaining small sizes
+// in (0, 1/k]. With k = 2 this is the large/small split at 1/2 used by the
+// paper's analysis (Sec. V classifies items at size 1/2).
+func classify(size float64, k int) int {
+	for i := 0; i < k-1; i++ {
+		if size > 1.0/float64(i+2) {
+			return i
+		}
+	}
+	return k - 1
+}
+
+// HybridFirstFit is the size-classifying First Fit family from the
+// authors' earlier work (Li, Tang, Cai, SPAA'14 / TPDS'16), cited by the
+// paper for its 8/7*mu + O(1) competitive ratio. Items are partitioned
+// into k size classes with harmonic boundaries (k=2: large > 1/2 vs small
+// <= 1/2); each class is packed by First Fit into its own pool of bins, so
+// bins never mix classes. Classifying by size bounds the wasted capacity
+// of each bin: a bin of class i (holding sizes in (1/(i+2), 1/(i+1)])
+// reaches level > (i+1)/(i+2) whenever it refuses an item of its class.
+//
+// The variant is semi-online in the same sense as the paper's Sec. II
+// remark: choosing k to optimize the bound requires knowing mu a priori.
+// This implementation documents itself as the classification scheme; the
+// exact constant of [5]'s analysis is not claimed.
+type HybridFirstFit struct {
+	k     int
+	class map[*bins.Bin]int
+	// pending remembers the class of the arrival for which Place returned
+	// nil, so BinOpened can tag the new bin.
+	pending int
+}
+
+// NewHybridFirstFit returns a Hybrid First Fit policy with k >= 2 size
+// classes. k = 2 reproduces the large/small split at 1/2.
+func NewHybridFirstFit(k int) *HybridFirstFit {
+	if k < 2 {
+		panic("packing: HybridFirstFit needs k >= 2 classes")
+	}
+	return &HybridFirstFit{k: k, class: make(map[*bins.Bin]int), pending: -1}
+}
+
+// Name implements Algorithm.
+func (h *HybridFirstFit) Name() string { return fmt.Sprintf("HybridFirstFit(k=%d)", h.k) }
+
+// Place applies First Fit within the arrival's size class.
+func (h *HybridFirstFit) Place(a Arrival, open []*bins.Bin) *bins.Bin {
+	c := classify(a.Size, h.k)
+	for _, b := range open {
+		if h.class[b] == c && fits(b, a) {
+			return b
+		}
+	}
+	h.pending = c
+	return nil
+}
+
+// BinOpened tags the freshly opened bin with the pending arrival's class.
+func (h *HybridFirstFit) BinOpened(b *bins.Bin) {
+	h.class[b] = h.pending
+	h.pending = -1
+}
+
+// Reset implements Algorithm.
+func (h *HybridFirstFit) Reset() {
+	h.class = make(map[*bins.Bin]int)
+	h.pending = -1
+}
+
+// HybridNextFit applies Next Fit within each of k harmonic size classes —
+// the classify-then-Next-Fit scheme Kamali & López-Ortiz analyze (cited in
+// Sec. II of the paper as achieving 2mu + O(1) semi-online). One bin per
+// class is available at any time.
+type HybridNextFit struct {
+	k         int
+	available []*bins.Bin
+	pending   int
+}
+
+// NewHybridNextFit returns a Hybrid Next Fit policy with k >= 2 classes.
+func NewHybridNextFit(k int) *HybridNextFit {
+	if k < 2 {
+		panic("packing: HybridNextFit needs k >= 2 classes")
+	}
+	return &HybridNextFit{k: k, available: make([]*bins.Bin, k), pending: -1}
+}
+
+// Name implements Algorithm.
+func (h *HybridNextFit) Name() string { return fmt.Sprintf("HybridNextFit(k=%d)", h.k) }
+
+// Place puts the arrival in its class's available bin if possible.
+func (h *HybridNextFit) Place(a Arrival, open []*bins.Bin) *bins.Bin {
+	c := classify(a.Size, h.k)
+	if b := h.available[c]; b != nil && b.IsOpen() && fits(b, a) {
+		return b
+	}
+	h.available[c] = nil
+	h.pending = c
+	return nil
+}
+
+// BinOpened records the new bin as its class's available bin.
+func (h *HybridNextFit) BinOpened(b *bins.Bin) {
+	h.available[h.pending] = b
+	h.pending = -1
+}
+
+// Reset implements Algorithm.
+func (h *HybridNextFit) Reset() {
+	h.available = make([]*bins.Bin, h.k)
+	h.pending = -1
+}

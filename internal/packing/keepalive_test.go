@@ -1,0 +1,166 @@
+package packing
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dbp/internal/item"
+)
+
+func TestKeepAliveExtendsUsage(t *testing.T) {
+	l := item.List{mk(1, 0.5, 0, 1)}
+	res := MustRun(NewFirstFit(), l, &Options{KeepAlive: 2})
+	if res.TotalUsage != 3 {
+		t.Fatalf("usage = %g, want 3 (1 active + 2 lingering)", res.TotalUsage)
+	}
+	if err := res.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeepAliveEnablesReuse(t *testing.T) {
+	l := item.List{
+		mk(1, 1.0, 0, 1),
+		mk(2, 1.0, 2.5, 4), // arrives while bin 0 lingers (expiry at 1+2=3)
+	}
+	res := MustRun(NewFirstFit(), l, &Options{KeepAlive: 2})
+	if res.NumBins() != 1 {
+		t.Fatalf("bins = %d, want 1 (reuse of lingering bin)", res.NumBins())
+	}
+	// Bin usage [0, 4+2) = 6.
+	if res.TotalUsage != 6 {
+		t.Fatalf("usage = %g, want 6", res.TotalUsage)
+	}
+	if err := res.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// Without keep-alive: two bins, usage 1 + 1.5 = 2.5.
+	plain := MustRun(NewFirstFit(), l, nil)
+	if plain.NumBins() != 2 || plain.TotalUsage != 2.5 {
+		t.Fatalf("plain run: %d bins, usage %g", plain.NumBins(), plain.TotalUsage)
+	}
+}
+
+func TestKeepAliveExpiryIsHalfOpen(t *testing.T) {
+	// Bin empties at 1, keep-alive 1 -> closes at 2; an arrival at
+	// exactly 2 must open a new bin.
+	l := item.List{
+		mk(1, 1.0, 0, 1),
+		mk(2, 1.0, 2, 3),
+	}
+	res := MustRun(NewFirstFit(), l, &Options{KeepAlive: 1})
+	if res.NumBins() != 2 {
+		t.Fatalf("bins = %d, want 2 (expiry at 2 precedes arrival at 2)", res.NumBins())
+	}
+	if res.Bins[0].UsagePeriod().Hi != 2 {
+		t.Fatalf("bin 0 closed at %g, want 2", res.Bins[0].UsagePeriod().Hi)
+	}
+	// Arrival just before expiry reuses.
+	l[1].Arrival = 1.999
+	res2 := MustRun(NewFirstFit(), l, &Options{KeepAlive: 1})
+	if res2.NumBins() != 1 {
+		t.Fatalf("bins = %d, want 1", res2.NumBins())
+	}
+}
+
+func TestKeepAliveChainReuseSavesBins(t *testing.T) {
+	// Three spaced jobs chained through one lingering server.
+	l := item.List{
+		mk(1, 1.0, 0, 10),
+		mk(2, 1.0, 15, 25),
+		mk(3, 1.0, 30, 40),
+	}
+	res := MustRun(NewFirstFit(), l, &Options{KeepAlive: 10})
+	if res.NumBins() != 1 {
+		t.Fatalf("bins = %d, want 1", res.NumBins())
+	}
+	if res.TotalUsage != 50 {
+		t.Fatalf("usage = %g, want 50 ([0, 40+10))", res.TotalUsage)
+	}
+	if res.MaxConcurrentOpen != 1 {
+		t.Fatal("peak must stay 1")
+	}
+}
+
+func TestKeepAliveRejectsNegative(t *testing.T) {
+	if _, err := Run(NewFirstFit(), item.List{mk(1, 0.5, 0, 1)}, &Options{KeepAlive: -1}); err == nil {
+		t.Fatal("negative keep-alive must be rejected")
+	}
+}
+
+func TestKeepAliveVerifyAcrossPolicies(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 8; trial++ {
+		l := randomInstance(rng, 100, 10)
+		for name, algo := range Standard() {
+			res, err := Run(algo, l, &Options{KeepAlive: 0.5, Validate: trial == 0})
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if err := res.Verify(); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			// Usage must grow versus the plain run by at least one tail
+			// and at most bins * keepAlive... exactly: each bin adds one
+			// keepAlive tail plus any lingering gaps it bridged, so:
+			plain := MustRun(algo, l, nil)
+			minExtra := float64(res.NumBins()) * 0.5
+			if res.TotalUsage < plain.TotalUsage-1e-9 {
+				t.Fatalf("%s: keep-alive reduced usage?!", name)
+			}
+			if res.TotalUsage+1e-9 < minExtra {
+				t.Fatalf("%s: usage %g below minimum tails %g", name, res.TotalUsage, minExtra)
+			}
+		}
+	}
+}
+
+func TestKeepAliveLingeringCountsInUsageMidRun(t *testing.T) {
+	// Stream variant sanity: usage accrues while lingering.
+	l := item.List{
+		mk(1, 0.5, 0, 1),
+		mk(2, 0.5, 5, 6), // far beyond expiry (1+2=3)
+	}
+	res := MustRun(NewFirstFit(), l, &Options{KeepAlive: 2})
+	if res.NumBins() != 2 {
+		t.Fatalf("bins = %d", res.NumBins())
+	}
+	if math.Abs(res.TotalUsage-(3+3)) > 1e-12 {
+		t.Fatalf("usage = %g, want 6", res.TotalUsage)
+	}
+}
+
+func TestArrivalsFirstAblationChangesReuse(t *testing.T) {
+	// Under the default order, item 2 reuses the capacity freed at t=5;
+	// under arrivals-first it cannot.
+	l := item.List{
+		mk(1, 1.0, 0, 5),
+		mk(2, 1.0, 5, 9),
+	}
+	def := MustRun(NewFirstFit(), l, nil)
+	abl := MustRun(NewFirstFit(), l, &Options{ArrivalsFirst: true})
+	if def.NumBins() != 2 {
+		t.Fatalf("default bins = %d (bin closes at 5, arrival at 5 opens new)", def.NumBins())
+	}
+	if abl.NumBins() != 2 {
+		t.Fatalf("ablation bins = %d", abl.NumBins())
+	}
+	// The discriminating case: a smaller item keeps the bin open.
+	l2 := item.List{
+		mk(1, 0.9, 0, 5),
+		mk(2, 0.1, 0, 9),
+		mk(3, 0.9, 5, 9),
+	}
+	def2 := MustRun(NewFirstFit(), l2, nil)
+	abl2 := MustRun(NewFirstFit(), l2, &Options{ArrivalsFirst: true})
+	if def2.NumBins() != 1 {
+		t.Fatalf("default bins = %d, want 1", def2.NumBins())
+	}
+	if abl2.NumBins() != 2 {
+		t.Fatalf("arrivals-first bins = %d, want 2 (capacity freed at 5 unusable at 5)", abl2.NumBins())
+	}
+	if err := abl2.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}

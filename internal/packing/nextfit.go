@@ -1,0 +1,45 @@
+package packing
+
+import "dbp/internal/bins"
+
+// NextFit is the Next Fit packing algorithm as defined in Sec. VIII of the
+// paper: exactly one bin is "available" for receiving new items at any
+// time. If an incoming item does not fit in the available bin, that bin is
+// marked unavailable forever and a new bin is opened (and becomes
+// available). Unavailable bins close when their items depart but never
+// receive further items.
+//
+// Kamali & López-Ortiz proved Next Fit is at most (2mu+1)-competitive; the
+// paper's Sec. VIII construction shows it is at least 2mu-competitive, so
+// the multiplicative factor 2 for mu is inherent — whereas First Fit
+// achieves factor 1 (Theorem 1). Experiment E2 reproduces the
+// construction.
+type NextFit struct {
+	available *bins.Bin
+}
+
+// NewNextFit returns a Next Fit policy.
+func NewNextFit() *NextFit { return &NextFit{} }
+
+// Name implements Algorithm.
+func (*NextFit) Name() string { return "NextFit" }
+
+// Place puts the arrival in the available bin if it fits; otherwise it
+// requests a new bin (which the simulator reports via BinOpened, making it
+// the new available bin).
+func (nf *NextFit) Place(a Arrival, open []*bins.Bin) *bins.Bin {
+	if nf.available != nil && nf.available.IsOpen() && fits(nf.available, a) {
+		return nf.available
+	}
+	// Either no available bin, it closed on its own, or the item does not
+	// fit: mark it unavailable (drop the reference) and open a new bin.
+	nf.available = nil
+	return nil
+}
+
+// BinOpened records the freshly opened bin as the available bin.
+// The simulator calls it whenever Place returned nil and a bin was opened.
+func (nf *NextFit) BinOpened(b *bins.Bin) { nf.available = b }
+
+// Reset implements Algorithm.
+func (nf *NextFit) Reset() { nf.available = nil }

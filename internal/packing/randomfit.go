@@ -1,0 +1,37 @@
+package packing
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dbp/internal/bins"
+)
+
+// RandomFit places each item into a uniformly random fitting open bin. It
+// is an Any Fit algorithm (it opens a new bin only when nothing fits) and
+// serves as a randomized baseline in the comparison experiments. Runs are
+// reproducible: the policy is seeded and Reset rewinds it to the seed.
+type RandomFit struct {
+	seed int64
+	rng  *rand.Rand
+}
+
+// NewRandomFit returns a Random Fit policy with the given seed.
+func NewRandomFit(seed int64) *RandomFit {
+	return &RandomFit{seed: seed, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Algorithm.
+func (rf *RandomFit) Name() string { return fmt.Sprintf("RandomFit(seed=%d)", rf.seed) }
+
+// Place returns a uniformly random fitting bin, or nil if none fits.
+func (rf *RandomFit) Place(a Arrival, open []*bins.Bin) *bins.Bin {
+	cands := fitting(open, a)
+	if len(cands) == 0 {
+		return nil
+	}
+	return cands[rf.rng.Intn(len(cands))]
+}
+
+// Reset rewinds the random stream to the seed, making runs reproducible.
+func (rf *RandomFit) Reset() { rf.rng = rand.New(rand.NewSource(rf.seed)) }

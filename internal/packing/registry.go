@@ -1,0 +1,57 @@
+package packing
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Standard returns a fresh instance of every standard policy studied in
+// the experiments, keyed by a stable short name. The map is newly built on
+// each call so callers can run the policies concurrently.
+func Standard() map[string]Algorithm {
+	return map[string]Algorithm{
+		"firstfit":       NewFirstFit(),
+		"bestfit":        NewBestFit(),
+		"worstfit":       NewWorstFit(),
+		"lastfit":        NewLastFit(),
+		"nextfit":        NewNextFit(),
+		"randomfit":      NewRandomFit(1),
+		"hybridff":       NewHybridFirstFit(2),
+		"hybridff3":      NewHybridFirstFit(3),
+		"hybridnextfit":  NewHybridNextFit(2),
+		"almostworstfit": NewAlmostWorstFit(),
+		"next2fit":       NewNextKFit(2),
+		"next4fit":       NewNextKFit(4),
+	}
+}
+
+// Clairvoyant returns the departure-aware baselines; they must be run
+// with Options.Clairvoyant and are not part of Standard (they are not
+// online algorithms in the paper's model).
+func Clairvoyant() map[string]Algorithm {
+	return map[string]Algorithm{
+		"alignfit":    NewAlignFit(),
+		"noextendfit": NewNoExtendFit(),
+	}
+}
+
+// Names returns the sorted short names of the standard policies.
+func Names() []string {
+	m := Standard()
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ByName returns a fresh instance of the named standard policy
+// (case-insensitive), or an error listing the valid names.
+func ByName(name string) (Algorithm, error) {
+	if a, ok := Standard()[strings.ToLower(name)]; ok {
+		return a, nil
+	}
+	return nil, fmt.Errorf("packing: unknown algorithm %q (valid: %s)", name, strings.Join(Names(), ", "))
+}

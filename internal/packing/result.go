@@ -1,0 +1,147 @@
+package packing
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"dbp/internal/bins"
+	"dbp/internal/item"
+)
+
+// Result is the complete outcome of one packing run: the objective values
+// and the full placement history, sufficient to reconstruct the state of
+// every bin at any time (used by the analysis package to re-derive the
+// paper's proof decomposition on concrete runs).
+type Result struct {
+	Algorithm string
+	Items     item.List
+	// Bins holds every bin ever opened, in opening order; all are closed.
+	Bins []*bins.Bin
+	// Assignment maps each item to the index of the bin that served it.
+	Assignment map[item.ID]int
+	// TotalUsage is the MinUsageTime objective: sum over bins of usage
+	// period length (server renting time under pay-as-you-go billing).
+	TotalUsage float64
+	// MaxConcurrentOpen is the classical DBP objective: the peak number of
+	// simultaneously open bins (lingering bins count: they are rented).
+	MaxConcurrentOpen int
+	// KeepAlive is the keep-alive duration the run used (0 = the paper's
+	// model: bins close the instant they empty).
+	KeepAlive float64
+}
+
+// NumBins returns the total number of bins opened during the run.
+func (r *Result) NumBins() int { return len(r.Bins) }
+
+// BinOf returns the bin that served the item, or nil if the item is
+// unknown.
+func (r *Result) BinOf(id item.ID) *bins.Bin {
+	idx, ok := r.Assignment[id]
+	if !ok {
+		return nil
+	}
+	return r.Bins[idx]
+}
+
+// OpenAt reconstructs the bins whose usage period contains time t, in
+// opening order.
+func (r *Result) OpenAt(t float64) []*bins.Bin {
+	var out []*bins.Bin
+	for _, b := range r.Bins {
+		if b.UsagePeriod().Contains(t) {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Verify re-checks the physical validity of the packing from the recorded
+// placements, independently of the simulator's bookkeeping: every item
+// placed exactly once, capacity respected in every bin at every event
+// time, bin usage periods spanning exactly their items' activity, and the
+// recomputed objectives matching the reported ones. Tests call this after
+// every run; it is the ground truth the experiments rest on.
+func (r *Result) Verify() error {
+	placed := make(map[item.ID]int)
+	var usage float64
+	for _, b := range r.Bins {
+		items := b.Items()
+		if len(items) == 0 {
+			return fmt.Errorf("bin %d served no items", b.Index)
+		}
+		var lo, hi = math.Inf(1), math.Inf(-1)
+		ts := make([]float64, 0, 2*len(items))
+		for _, it := range items {
+			if prev, dup := placed[it.ID]; dup {
+				return fmt.Errorf("item %d placed in bins %d and %d", it.ID, prev, b.Index)
+			}
+			placed[it.ID] = b.Index
+			lo = math.Min(lo, it.Arrival)
+			hi = math.Max(hi, it.Departure)
+			ts = append(ts, it.Arrival, it.Departure)
+		}
+		wantHi := hi + r.KeepAlive // bins linger keepAlive past their last departure
+		if b.UsagePeriod().Lo != lo || math.Abs(b.UsagePeriod().Hi-wantHi) > 1e-9 {
+			return fmt.Errorf("bin %d usage period %v does not match items' hull [%g, %g)", b.Index, b.UsagePeriod(), lo, wantHi)
+		}
+		sort.Float64s(ts)
+		lv := make([]float64, b.Dim())
+		for _, t := range ts {
+			for d := range lv {
+				lv[d] = 0
+			}
+			for _, it := range items {
+				if it.Interval().Contains(t) {
+					for d, s := range it.SizeVec() {
+						lv[d] += s
+					}
+				}
+			}
+			for d := range lv {
+				if lv[d] > b.Capacity+bins.Eps {
+					return fmt.Errorf("bin %d over capacity in dim %d at t=%g: level %g", b.Index, d, t, lv[d])
+				}
+			}
+		}
+		usage += b.Usage()
+	}
+	for _, it := range r.Items {
+		idx, ok := placed[it.ID]
+		if !ok {
+			return fmt.Errorf("item %d never placed", it.ID)
+		}
+		if r.Assignment[it.ID] != idx {
+			return fmt.Errorf("assignment map disagrees for item %d", it.ID)
+		}
+	}
+	if len(placed) != len(r.Items) {
+		return fmt.Errorf("placed %d items, instance has %d", len(placed), len(r.Items))
+	}
+	if math.Abs(usage-r.TotalUsage) > 1e-6*(1+math.Abs(usage)) {
+		return fmt.Errorf("recomputed usage %g != reported %g", usage, r.TotalUsage)
+	}
+	return nil
+}
+
+// String renders a one-line summary of the run.
+func (r *Result) String() string {
+	return fmt.Sprintf("%s: %d items, %d bins, usage %.6g, peak open %d",
+		r.Algorithm, len(r.Items), r.NumBins(), r.TotalUsage, r.MaxConcurrentOpen)
+}
+
+// Describe renders a multi-line report of the packing, bin by bin, for the
+// CLI tools and examples.
+func (r *Result) Describe() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", r.String())
+	for _, b := range r.Bins {
+		fmt.Fprintf(&sb, "  bin %3d  usage %v (%.6g)  items:", b.Index, b.UsagePeriod(), b.Usage())
+		for _, it := range b.Items() {
+			fmt.Fprintf(&sb, " %d(%.3g)", it.ID, it.Size)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

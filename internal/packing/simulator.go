@@ -1,0 +1,187 @@
+package packing
+
+import (
+	"fmt"
+
+	"dbp/internal/bins"
+	"dbp/internal/event"
+	"dbp/internal/item"
+)
+
+// binOpenObserver is implemented by algorithms that need to learn the
+// identity of the bin opened after Place returned nil (Next Fit keeps it
+// as the available bin; Hybrid variants tag it with a size class).
+type binOpenObserver interface {
+	BinOpened(b *bins.Bin)
+}
+
+// levelObserver is implemented by algorithms that maintain indexed state
+// over bin levels (FastFirstFit's segment tree): the simulator notifies
+// every level change so the index stays coherent in O(log B) per event.
+type levelObserver interface {
+	ItemPlaced(b *bins.Bin)
+	ItemRemoved(b *bins.Bin)
+}
+
+// Options configures a simulation run. The zero value means: unit
+// capacity, dimensionality inferred from the items, no per-event
+// validation.
+type Options struct {
+	// Capacity is the per-dimension bin capacity; 0 means 1.0 (the
+	// paper's normalization — item sizes are fractions of a server).
+	Capacity float64
+	// Dim forces the resource dimensionality; 0 infers it from the items
+	// (1 unless some item carries a vector demand).
+	Dim int
+	// Validate runs ledger invariant checks after every event. Slow;
+	// meant for tests.
+	Validate bool
+	// Clairvoyant reveals each item's departure time to the policy
+	// (Arrival.Departure). This leaves the paper's online model; it
+	// exists for baseline policies that quantify the value of knowing
+	// departures (cf. interval scheduling, Sec. II).
+	Clairvoyant bool
+	// KeepAlive keeps emptied bins open (lingering, reusable) for this
+	// many time units before shutting them down — the cloud keep-alive
+	// model, where a server whose billed hour is already paid may as
+	// well stay available. 0 closes bins the moment they empty (the
+	// paper's model). Lingering time counts toward TotalUsage.
+	KeepAlive float64
+	// ArrivalsFirst flips the same-timestamp event order so arrivals are
+	// processed before departures — an ablation of the half-open
+	// interval convention (DESIGN.md §6). Under it, capacity freed at
+	// time t cannot serve an arrival at t.
+	ArrivalsFirst bool
+}
+
+func (o *Options) capacity() float64 {
+	if o == nil || o.Capacity == 0 {
+		return 1.0
+	}
+	return o.Capacity
+}
+
+func (o *Options) dim(l item.List) int {
+	if o != nil && o.Dim > 0 {
+		return o.Dim
+	}
+	d := 1
+	for _, it := range l {
+		if it.Dim() > d {
+			d = it.Dim()
+		}
+	}
+	return d
+}
+
+// Run simulates the online packing of the item list under the given
+// algorithm and returns the complete packing outcome. The algorithm is
+// Reset before the run. Run returns an error if the item list is invalid
+// or the algorithm returns an unusable placement (a closed or non-fitting
+// bin) — the latter indicates a policy bug and aborts the run.
+func Run(algo Algorithm, l item.List, opt *Options) (*Result, error) {
+	if err := l.Validate(); err != nil {
+		return nil, fmt.Errorf("packing: invalid instance: %w", err)
+	}
+	dim := opt.dim(l)
+	for _, it := range l {
+		if it.Dim() != dim {
+			return nil, fmt.Errorf("packing: item %d has dim %d, run has dim %d", it.ID, it.Dim(), dim)
+		}
+	}
+	capacity := opt.capacity()
+	return runCore(algo, l, opt, func(Arrival) (float64, error) { return capacity, nil })
+}
+
+// runCore is the event loop shared by Run (homogeneous capacity) and
+// RunFleet (per-opening capacity via capacityFor). The instance must
+// already be validated.
+func runCore(algo Algorithm, l item.List, opt *Options, capacityFor func(a Arrival) (float64, error)) (*Result, error) {
+	dim := opt.dim(l)
+	algo.Reset()
+	keepAlive := 0.0
+	if opt != nil {
+		if opt.KeepAlive < 0 {
+			return nil, fmt.Errorf("packing: negative keep-alive %g", opt.KeepAlive)
+		}
+		keepAlive = opt.KeepAlive
+	}
+	ledger := bins.NewLedgerKeepAlive(opt.capacity(), dim, keepAlive)
+	q := event.NewFromListOrder(l, opt != nil && opt.ArrivalsFirst)
+	assignment := make(map[item.ID]int, len(l))
+
+	lobs, _ := algo.(levelObserver)
+	for q.Len() > 0 {
+		e := q.Pop()
+		ledger.CloseExpired(e.Time)
+		switch e.Kind {
+		case event.Depart:
+			b, _ := ledger.Remove(e.Item.ID, e.Time)
+			if lobs != nil {
+				lobs.ItemRemoved(b)
+			}
+		case event.Arrive:
+			a := view(e.Item, e.Time)
+			if opt != nil && opt.Clairvoyant {
+				a.Departure = e.Item.Departure
+			}
+			b := algo.Place(a, ledger.OpenBins())
+			if b == nil {
+				capacity, err := capacityFor(a)
+				if err != nil {
+					return nil, err
+				}
+				b = ledger.OpenNewCap(e.Item, e.Time, capacity)
+				if obs, ok := algo.(binOpenObserver); ok {
+					obs.BinOpened(b)
+				}
+				if lobs != nil {
+					lobs.ItemPlaced(b)
+				}
+			} else {
+				if !b.IsOpen() {
+					return nil, fmt.Errorf("packing: %s placed item %d in closed bin %d", algo.Name(), e.Item.ID, b.Index)
+				}
+				if !b.Fits(e.Item) {
+					return nil, fmt.Errorf("packing: %s placed item %d (size %g) in bin %d with insufficient capacity (level %g)",
+						algo.Name(), e.Item.ID, e.Item.Size, b.Index, b.Level())
+				}
+				ledger.PlaceIn(b, e.Item, e.Time)
+				if lobs != nil {
+					lobs.ItemPlaced(b)
+				}
+			}
+			assignment[e.Item.ID] = b.Index
+		}
+		if opt != nil && opt.Validate {
+			if err := ledger.CheckInvariants(); err != nil {
+				return nil, fmt.Errorf("packing: invariant violated after %v of item %d at t=%g: %w",
+					e.Kind, e.Item.ID, e.Time, err)
+			}
+		}
+	}
+
+	ledger.CloseAllLingering()
+	if n := ledger.NumOpen(); n != 0 {
+		return nil, fmt.Errorf("packing: %d bins still open after drain", n)
+	}
+	return &Result{
+		Algorithm:         algo.Name(),
+		Items:             l,
+		Bins:              ledger.AllBins(),
+		Assignment:        assignment,
+		TotalUsage:        ledger.TotalUsage(0),
+		MaxConcurrentOpen: ledger.MaxConcurrentOpen(),
+		KeepAlive:         keepAlive,
+	}, nil
+}
+
+// MustRun is Run for known-good inputs (tests, benchmarks, examples); it
+// panics on error.
+func MustRun(algo Algorithm, l item.List, opt *Options) *Result {
+	res, err := Run(algo, l, opt)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}

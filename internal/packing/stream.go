@@ -1,0 +1,143 @@
+package packing
+
+import (
+	"fmt"
+	"math"
+
+	"dbp/internal/bins"
+	"dbp/internal/item"
+)
+
+// Stream is the online dispatching interface matching the paper's cloud
+// scenario: jobs arrive one at a time with unknown departure times, the
+// caller is told which server (bin) each job was assigned to, and later
+// reports departures. It is what a cloud-gaming provider's dispatcher
+// would embed; Run is a convenience wrapper over the same mechanics for
+// instances whose departures are known to the simulator.
+//
+// Time must be fed in non-decreasing order across Arrive and Depart calls.
+type Stream struct {
+	algo   Algorithm
+	ledger *bins.Ledger
+	now    float64
+	nEvent int
+}
+
+// NewStream creates a dispatcher using the given policy. The policy is
+// Reset. dim is the resource dimensionality (1 for the scalar problem);
+// capacity 0 means unit capacity.
+func NewStream(algo Algorithm, capacity float64, dim int) *Stream {
+	return NewStreamKeepAlive(algo, capacity, dim, 0)
+}
+
+// NewStreamKeepAlive is NewStream with lingering servers: an emptied
+// server stays open (reusable) for keepAlive time units before shutting
+// down, mirroring Options.KeepAlive for batch runs. Expiries are
+// processed as the stream's clock advances.
+func NewStreamKeepAlive(algo Algorithm, capacity float64, dim int, keepAlive float64) *Stream {
+	if capacity == 0 {
+		capacity = 1
+	}
+	if dim == 0 {
+		dim = 1
+	}
+	algo.Reset()
+	return &Stream{algo: algo, ledger: bins.NewLedgerKeepAlive(capacity, dim, keepAlive)}
+}
+
+// Arrive dispatches a job with the given demand at time t and returns the
+// index of the server it was assigned to, plus whether a new server was
+// opened for it. sizes carries the vector demand for multi-dimensional
+// streams and must be nil for 1-D streams.
+func (s *Stream) Arrive(id item.ID, size float64, sizes []float64, t float64) (server int, opened bool, err error) {
+	if err := s.advance(t); err != nil {
+		return 0, false, err
+	}
+	if s.ledger.Locate(id) != nil {
+		return 0, false, fmt.Errorf("packing: job %d already running", id)
+	}
+	it := item.Item{ID: id, Size: size, Sizes: sizes, Arrival: t, Departure: math.Inf(1)}
+	if !(size > 0) || size > s.ledger.Capacity()+bins.Eps {
+		return 0, false, fmt.Errorf("packing: job %d size %g cannot fit any server of capacity %g", id, size, s.ledger.Capacity())
+	}
+	if it.Dim() != s.ledger.Dim() {
+		return 0, false, fmt.Errorf("packing: job %d has dim %d, stream has dim %d", id, it.Dim(), s.ledger.Dim())
+	}
+	b := s.algo.Place(view(it, t), s.ledger.OpenBins())
+	lobs, _ := s.algo.(levelObserver)
+	if b == nil {
+		b = s.ledger.OpenNew(it, t)
+		if obs, ok := s.algo.(binOpenObserver); ok {
+			obs.BinOpened(b)
+		}
+		if lobs != nil {
+			lobs.ItemPlaced(b)
+		}
+		return b.Index, true, nil
+	}
+	if !b.IsOpen() || !b.Fits(it) {
+		return 0, false, fmt.Errorf("packing: policy %s returned unusable bin %d for job %d", s.algo.Name(), b.Index, id)
+	}
+	s.ledger.PlaceIn(b, it, t)
+	if lobs != nil {
+		lobs.ItemPlaced(b)
+	}
+	return b.Index, false, nil
+}
+
+// Depart reports that the job left at time t. It returns the server index
+// it was on and whether that server shut down (closed) as a result.
+func (s *Stream) Depart(id item.ID, t float64) (server int, closed bool, err error) {
+	if err := s.advance(t); err != nil {
+		return 0, false, err
+	}
+	if s.ledger.Locate(id) == nil {
+		return 0, false, fmt.Errorf("packing: job %d is not running", id)
+	}
+	b, closed := s.ledger.Remove(id, t)
+	if lobs, ok := s.algo.(levelObserver); ok {
+		lobs.ItemRemoved(b)
+	}
+	return b.Index, closed, nil
+}
+
+func (s *Stream) advance(t float64) error {
+	if math.IsNaN(t) || math.IsInf(t, 0) {
+		return fmt.Errorf("packing: non-finite time %g", t)
+	}
+	if s.nEvent > 0 && t < s.now {
+		return fmt.Errorf("packing: time went backwards (%g after %g)", t, s.now)
+	}
+	s.now = t
+	s.nEvent++
+	s.ledger.CloseExpired(t)
+	return nil
+}
+
+// Now returns the time of the last event fed to the stream.
+func (s *Stream) Now() float64 { return s.now }
+
+// OpenServers returns the number of currently running servers.
+func (s *Stream) OpenServers() int { return s.ledger.NumOpen() }
+
+// ServersUsed returns the total number of servers ever opened.
+func (s *Stream) ServersUsed() int { return s.ledger.NumOpened() }
+
+// PeakServers returns the maximum number of simultaneously open servers.
+func (s *Stream) PeakServers() int { return s.ledger.MaxConcurrentOpen() }
+
+// AccumulatedUsage returns the total server usage time up to time now
+// (open servers accrue usage up to now). This is the quantity the cloud
+// tenant pays for under idealized (continuous) pay-as-you-go billing.
+func (s *Stream) AccumulatedUsage(now float64) float64 { return s.ledger.TotalUsage(now) }
+
+// Ledger exposes the underlying bin ledger for inspection (read-only use).
+func (s *Stream) Ledger() *bins.Ledger { return s.ledger }
+
+// Shutdown closes every lingering server at its natural expiry (used
+// when a keep-alive stream drains). Servers still holding jobs are
+// untouched; it returns the number of servers still running.
+func (s *Stream) Shutdown() int {
+	s.ledger.CloseAllLingering()
+	return s.ledger.NumOpen()
+}

@@ -1,0 +1,178 @@
+package packing
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dbp/internal/event"
+)
+
+func TestStreamBasicFlow(t *testing.T) {
+	s := NewStream(NewFirstFit(), 0, 0)
+	srv, opened, err := s.Arrive(1, 0.5, nil, 0)
+	if err != nil || !opened || srv != 0 {
+		t.Fatalf("arrive 1: srv=%d opened=%v err=%v", srv, opened, err)
+	}
+	srv, opened, err = s.Arrive(2, 0.5, nil, 1)
+	if err != nil || opened || srv != 0 {
+		t.Fatalf("arrive 2 must join server 0: srv=%d opened=%v err=%v", srv, opened, err)
+	}
+	if s.OpenServers() != 1 || s.PeakServers() != 1 {
+		t.Fatalf("open=%d peak=%d", s.OpenServers(), s.PeakServers())
+	}
+	srv, closed, err := s.Depart(1, 3)
+	if err != nil || closed || srv != 0 {
+		t.Fatalf("depart 1: srv=%d closed=%v err=%v", srv, closed, err)
+	}
+	srv, closed, err = s.Depart(2, 5)
+	if err != nil || !closed || srv != 0 {
+		t.Fatalf("depart 2 must close server 0: %v", err)
+	}
+	if got := s.AccumulatedUsage(5); got != 5 {
+		t.Fatalf("usage = %g, want 5", got)
+	}
+	if s.ServersUsed() != 1 {
+		t.Fatalf("servers used = %d", s.ServersUsed())
+	}
+}
+
+func TestStreamErrors(t *testing.T) {
+	s := NewStream(NewFirstFit(), 0, 0)
+	if _, _, err := s.Arrive(1, 0.5, nil, 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Arrive(1, 0.5, nil, 11); err == nil {
+		t.Fatal("duplicate running job must error")
+	}
+	if _, _, err := s.Arrive(2, 0.5, nil, 5); err == nil {
+		t.Fatal("time going backwards must error")
+	}
+	if _, _, err := s.Depart(99, 12); err == nil {
+		t.Fatal("departing unknown job must error")
+	}
+	if _, _, err := s.Arrive(3, 1.5, nil, 12); err == nil {
+		t.Fatal("oversize job must error")
+	}
+	if _, _, err := s.Arrive(4, 0, nil, 12); err == nil {
+		t.Fatal("zero-size job must error")
+	}
+	if _, _, err := s.Arrive(5, 0.5, []float64{0.5, 0.2}, 12); err == nil {
+		t.Fatal("dimension mismatch must error")
+	}
+}
+
+func TestStreamUsageAccrualWhileOpen(t *testing.T) {
+	s := NewStream(NewFirstFit(), 0, 0)
+	s.Arrive(1, 0.4, nil, 0)
+	s.Arrive(2, 0.4, nil, 2) // same server
+	s.Arrive(3, 0.4, nil, 2) // new server (0.4*3 > 1)
+	if got := s.AccumulatedUsage(10); got != 10+8 {
+		t.Fatalf("usage at 10 = %g, want 18", got)
+	}
+	if s.OpenServers() != 2 {
+		t.Fatalf("open = %d", s.OpenServers())
+	}
+	if s.Now() != 2 {
+		t.Fatalf("now = %g", s.Now())
+	}
+}
+
+func TestStreamMatchesRunOnSameSequence(t *testing.T) {
+	// Feeding Run's event order through Stream must give identical usage.
+	l := handInstance()
+	run := MustRun(NewFirstFit(), l, nil)
+
+	s := NewStream(NewFirstFit(), 0, 0)
+	// Events in time order: arrivals at 0:A; 1:B,C; departures 2:A, 3:B, 4:C.
+	s.Arrive(1, 0.5, nil, 0)
+	s.Arrive(2, 0.6, nil, 1)
+	s.Arrive(3, 0.4, nil, 1)
+	s.Depart(1, 2)
+	s.Depart(2, 3)
+	s.Depart(3, 4)
+	if got := s.AccumulatedUsage(4); got != run.TotalUsage {
+		t.Fatalf("stream usage %g != run usage %g", got, run.TotalUsage)
+	}
+	if s.PeakServers() != run.MaxConcurrentOpen {
+		t.Fatal("peak mismatch")
+	}
+}
+
+func TestStreamWithNextFitObserver(t *testing.T) {
+	s := NewStream(NewNextFit(), 0, 0)
+	s.Arrive(1, 0.5, nil, 0) // server 0, available
+	s.Arrive(2, 0.7, nil, 1) // server 1, available; 0 now unavailable
+	srv, _, _ := s.Arrive(3, 0.2, nil, 2)
+	if srv != 1 {
+		t.Fatalf("NF stream must use available server 1, got %d", srv)
+	}
+}
+
+func TestStreamKeepAlive(t *testing.T) {
+	s := NewStreamKeepAlive(NewFirstFit(), 0, 0, 5)
+	s.Arrive(1, 1.0, nil, 0)
+	if _, closed, _ := s.Depart(1, 2); closed {
+		t.Fatal("keep-alive server must linger, not close")
+	}
+	if s.OpenServers() != 1 {
+		t.Fatal("lingering server must count as open")
+	}
+	// Reuse within the window.
+	srv, opened, err := s.Arrive(2, 1.0, nil, 4)
+	if err != nil || opened || srv != 0 {
+		t.Fatalf("reuse failed: srv=%d opened=%v err=%v", srv, opened, err)
+	}
+	s.Depart(2, 6)
+	// Let it expire: advancing past 11 closes it.
+	if _, _, err := s.Arrive(3, 1.0, nil, 12); err != nil {
+		t.Fatal(err)
+	}
+	if s.ServersUsed() != 2 {
+		t.Fatalf("servers used = %d, want 2", s.ServersUsed())
+	}
+	s.Depart(3, 13)
+	if left := s.Shutdown(); left != 0 {
+		t.Fatalf("%d servers still running after shutdown", left)
+	}
+	// Usage: server 0 [0, 11), server 1 [12, 18).
+	if got := s.AccumulatedUsage(99); got != 11+6 {
+		t.Fatalf("usage = %g, want 17", got)
+	}
+}
+
+// Stream and Run must agree exactly when fed the same event sequence in
+// the simulator's order, for every policy (including the segment-tree
+// engine, which relies on the observer hooks in both paths).
+func TestStreamEquivalentToRunAcrossPolicies(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 6; trial++ {
+		l := randomInstance(rng, 120, 8)
+		algos := Standard()
+		algos["fastff"] = NewFastFirstFit()
+		for name, algo := range algos {
+			run := MustRun(algo, l, nil)
+			s := NewStream(algo, 0, 0)
+			q := event.NewFromList(l)
+			for q.Len() > 0 {
+				e := q.Pop()
+				if e.Kind == event.Arrive {
+					if _, _, err := s.Arrive(e.Item.ID, e.Item.Size, nil, e.Time); err != nil {
+						t.Fatalf("%s: %v", name, err)
+					}
+				} else {
+					if _, _, err := s.Depart(e.Item.ID, e.Time); err != nil {
+						t.Fatalf("%s: %v", name, err)
+					}
+				}
+			}
+			end := l.PackingPeriod().Hi
+			if got := s.AccumulatedUsage(end); math.Abs(got-run.TotalUsage) > 1e-9 {
+				t.Fatalf("%s: stream usage %g != run usage %g", name, got, run.TotalUsage)
+			}
+			if s.ServersUsed() != run.NumBins() || s.PeakServers() != run.MaxConcurrentOpen {
+				t.Fatalf("%s: structure mismatch", name)
+			}
+		}
+	}
+}

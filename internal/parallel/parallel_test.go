@@ -1,0 +1,63 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForEachCoversAllIndicesOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		n := 1000
+		hits := make([]int32, n)
+		ForEach(n, workers, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d hit %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachZeroAndOne(t *testing.T) {
+	ForEach(0, 4, func(int) { t.Fatal("must not be called") })
+	called := 0
+	ForEach(1, 4, func(i int) { called++ })
+	if called != 1 {
+		t.Fatalf("called %d times", called)
+	}
+}
+
+func TestMapOrder(t *testing.T) {
+	out := Map(100, 8, func(i int) int { return i * i })
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+// Determinism: Sum must be bit-identical across worker counts (results
+// are accumulated in index order).
+func TestSumDeterministicAcrossWorkerCounts(t *testing.T) {
+	f := func(seed int64) bool {
+		n := int(seed%500) + 500
+		fn := func(i int) float64 { return 1.0 / float64(i+1) }
+		a := Sum(n, 1, fn)
+		b := Sum(n, 4, fn)
+		c := Sum(n, 13, fn)
+		return a == b && b == c
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if Workers(-1) < 1 || Workers(0) < 1 {
+		t.Fatal("Workers must default to at least 1")
+	}
+	if Workers(5) != 5 {
+		t.Fatal("explicit worker count must pass through")
+	}
+}

@@ -1,0 +1,210 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"dbp/internal/item"
+	"dbp/internal/packing"
+	"dbp/internal/workload"
+)
+
+func roundTripCSV(t *testing.T, l item.List) item.List {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, l); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func roundTripJSON(t *testing.T, l item.List) item.List {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, l); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func equalLists(a, b item.List) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as, bs := a.SortedByArrival(), b.SortedByArrival()
+	for i := range as {
+		x, y := as[i], bs[i]
+		if x.ID != y.ID || x.Size != y.Size || x.Arrival != y.Arrival || x.Departure != y.Departure {
+			return false
+		}
+		if len(x.Sizes) != len(y.Sizes) {
+			return false
+		}
+		for d := range x.Sizes {
+			if x.Sizes[d] != y.Sizes[d] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestCSVRoundTripExact(t *testing.T) {
+	l := workload.Generate(workload.UniformConfig(200, 3, 7, 11))
+	if !equalLists(l, roundTripCSV(t, l)) {
+		t.Fatal("CSV round trip not exact")
+	}
+}
+
+func TestJSONRoundTripExact(t *testing.T) {
+	l := workload.Generate(workload.ParetoConfig(200, 3, 7, 11))
+	if !equalLists(l, roundTripJSON(t, l)) {
+		t.Fatal("JSON round trip not exact")
+	}
+}
+
+func TestVectorRoundTrip(t *testing.T) {
+	l := workload.GenerateVec(workload.UniformConfig(50, 3, 4, 2), 3)
+	if !equalLists(l, roundTripCSV(t, l)) {
+		t.Fatal("vector CSV round trip not exact")
+	}
+	if !equalLists(l, roundTripJSON(t, l)) {
+		t.Fatal("vector JSON round trip not exact")
+	}
+}
+
+func TestCSVFullPrecision(t *testing.T) {
+	l := item.List{{ID: 1, Size: 1.0 / 3.0, Arrival: math.Pi, Departure: math.Pi + math.E}}
+	got := roundTripCSV(t, l)
+	if got[0].Size != 1.0/3.0 || got[0].Arrival != math.Pi {
+		t.Fatal("precision lost")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",                                                  // empty
+		"a,b,c,d\n1,0.5,0,1\n",                              // bad header
+		"id,size,arrival,departure\nx,0.5,0,1\n",            // bad id
+		"id,size,arrival,departure\n1,zap,0,1\n",            // bad float
+		"id,size,arrival,departure\n1,0.5,5,1\n",            // invalid interval
+		"id,size,arrival,departure\n1,1.5,0,1\n",            // oversize
+		"id,size,arrival,departure\n1,0.5,0,1\n1,0.5,2,3\n", // dup id
+	}
+	for _, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c)); err == nil {
+			t.Errorf("input %q must fail", c)
+		}
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{not json")); err == nil {
+		t.Fatal("bad JSON must fail")
+	}
+	if _, err := ReadJSON(strings.NewReader(`[{"id":1,"size":2,"arrival":0,"departure":1}]`)); err == nil {
+		t.Fatal("invalid item must fail")
+	}
+}
+
+func TestWriteCSVSortsByArrival(t *testing.T) {
+	l := item.List{
+		{ID: 2, Size: 0.5, Arrival: 5, Departure: 6},
+		{ID: 1, Size: 0.5, Arrival: 1, Departure: 2},
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, l); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if !strings.HasPrefix(lines[1], "1,") || !strings.HasPrefix(lines[2], "2,") {
+		t.Fatalf("rows not sorted:\n%s", buf.String())
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	l := item.List{
+		{ID: 1, Size: 0.5, Arrival: 0, Departure: 2},
+		{ID: 2, Size: 0.25, Arrival: 1, Departure: 5},
+	}
+	s := Summarize(l)
+	if s.N != 2 || s.Mu != 2 || s.Span != 5 || s.MeanSize != 0.375 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("empty String")
+	}
+	if z := Summarize(nil); z.N != 0 || z.MeanSize != 0 {
+		t.Fatal("empty stats")
+	}
+}
+
+func TestWriteAssignment(t *testing.T) {
+	l := item.List{
+		{ID: 2, Size: 0.5, Arrival: 1, Departure: 2},
+		{ID: 1, Size: 0.5, Arrival: 0, Departure: 3},
+	}
+	res := packing.MustRun(packing.NewFirstFit(), l, nil)
+	var buf bytes.Buffer
+	if err := WriteAssignment(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines: %v", lines)
+	}
+	if lines[0] != "id,bin,size,arrival,departure" {
+		t.Fatalf("header: %s", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "1,0,") || !strings.HasPrefix(lines[2], "2,0,") {
+		t.Fatalf("rows:\n%s", buf.String())
+	}
+}
+
+func TestAssignmentRoundTrip(t *testing.T) {
+	l := workload.Generate(workload.UniformConfig(60, 2, 4, 3))
+	res := packing.MustRun(packing.NewFirstFit(), l, nil)
+	var buf bytes.Buffer
+	if err := WriteAssignment(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	l2, assign, err := ReadAssignment(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l2) != len(l) || len(assign) != len(l) {
+		t.Fatal("assignment round trip lost rows")
+	}
+	rep, err := packing.Replay(l2, assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalUsage != res.TotalUsage {
+		t.Fatalf("replayed usage %g != original %g", rep.TotalUsage, res.TotalUsage)
+	}
+}
+
+func TestReadAssignmentErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"id,bin\n1,0\n",
+		"id,bin,size,arrival,departure\nx,0,0.5,0,1\n",
+		"id,bin,size,arrival,departure\n1,z,0.5,0,1\n",
+		"id,bin,size,arrival,departure\n1,0,2.5,0,1\n",
+	}
+	for _, c := range cases {
+		if _, _, err := ReadAssignment(strings.NewReader(c)); err == nil {
+			t.Errorf("input %q must fail", c)
+		}
+	}
+}

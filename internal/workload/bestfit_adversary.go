@@ -1,0 +1,156 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"dbp/internal/bins"
+	"dbp/internal/item"
+	"dbp/internal/packing"
+)
+
+// BestFitRelay builds an adaptive adversarial instance against Best Fit,
+// reproducing (in spirit) the paper's Sec. I remark — inherited from the
+// authors' earlier work [5], [6] — that Best Fit's competitive ratio is
+// not bounded by a small constant factor: Best Fit pays about a factor
+// k*(mu-1)/(k+mu) more than the adversary for any number of victim bins
+// k, approaching mu-1 as k grows, on instances where First Fit fares far
+// better (experiment E4 measures both).
+//
+// Construction (adaptive — the generator simulates Best Fit online and
+// derives item sizes from the live bin levels, which is exactly what a
+// lower-bound adversary may do; Best Fit is deterministic, so replaying
+// the emitted list through packing.Run(NewBestFit(), ...) reproduces the
+// trajectory):
+//
+//   - Seed: a gap-seal trap opens k victim bins; after the seed bigs
+//     depart at time 1 each victim holds one long tiny (duration mu).
+//   - Rounds at times r*(mu-1), r = 1..rounds: the adversary walks the
+//     victims from fullest to emptiest. For each victim it (a) emits a
+//     fresh tiny (duration mu) — Best Fit places it in the fullest
+//     unsealed bin, the current victim — then (b) emits a brief spike
+//     filler (duration 1, the minimum) sized to the victim's remaining
+//     gap minus half a tiny, which Best Fit also drops into that victim,
+//     sealing it against the next tiny.
+//
+// Every victim is kept alive for the whole horizon by a relay of tinies
+// (Best Fit pays ~k bin-time per time unit), while the adversary
+// consolidates all tinies into one bin and pays for the spikes only
+// briefly. Requires mu >= 2 so consecutive rounds overlap each tiny's
+// lifetime.
+func BestFitRelay(k, rounds int, mu float64) item.List {
+	if k < 2 || rounds < 1 || mu < 2 {
+		panic(fmt.Sprintf("workload: BestFitRelay needs k >= 2, rounds >= 1, mu >= 2 (got %d, %d, %g)", k, rounds, mu))
+	}
+	const sigma = 1.0 / 1024 // tiny size; k*sigma stays << 1 for sane k
+	b := &relayBuilder{
+		sim: packing.NewStream(packing.NewBestFit(), 0, 0),
+		eta: (mu - 1) / 1e6,
+	}
+
+	// Seed trap at t=0+: k bigs (duration 1) with ascending gaps, then k
+	// ascending tinies (duration mu) sealing them.
+	delta := sigma / float64(k+1) // gaps all below sigma
+	for i := 0; i < k; i++ {
+		b.emit(1-float64(i+1)*delta, float64(i)*b.eta, 1)
+	}
+	for i := 0; i < k; i++ {
+		b.emit(float64(i+1)*delta, float64(k+i)*b.eta, mu)
+	}
+
+	for r := 1; r <= rounds; r++ {
+		base := float64(r) * (mu - 1)
+		step := 0
+		sealed := make(map[int]bool, k)
+		for v := 0; v < k; v++ {
+			t := base + float64(step)*b.eta
+			b.flushUntil(t)
+			target := fullestUnsealed(b.sim.Ledger().OpenBins(), sealed)
+			if target == nil {
+				break // defensive: every victim closed (cannot happen for mu >= 2)
+			}
+			if 1-target.Level() < 1.5*sigma {
+				sealed[target.Index] = true
+				continue
+			}
+			// (a) fresh tiny: Best Fit places it in target, the fullest
+			// bin with room.
+			b.emit(sigma, t, mu)
+			step++
+			// (b) spike filler sized to the remaining gap minus half a
+			// tiny: lands in target and seals it against further tinies.
+			t = base + float64(step)*b.eta
+			b.flushUntil(t)
+			if gap := 1 - target.Level(); gap > sigma/2 {
+				b.emit(gap-sigma/2, t, 1)
+				step++
+			}
+			sealed[target.Index] = true
+		}
+	}
+	return b.list
+}
+
+// BestFitRelayRatioLimit returns the analytic ALG/OPT shape of the relay,
+// k*(mu-1)/(k+mu-1): Best Fit pays k bins over the horizon while the
+// adversary pays one bin plus k brief spike bins per round.
+func BestFitRelayRatioLimit(k int, mu float64) float64 {
+	return float64(k) * (mu - 1) / (float64(k) + mu - 1)
+}
+
+// relayBuilder feeds an internal Best Fit simulation while recording the
+// emitted instance. Departures are flushed into the simulation in time
+// order before each arrival, mirroring the main simulator's
+// departure-before-arrival tie rule.
+type relayBuilder struct {
+	sim     *packing.Stream
+	list    item.List
+	pending []departure
+	nextID  item.ID
+	eta     float64
+}
+
+type departure struct {
+	id item.ID
+	t  float64
+}
+
+func (b *relayBuilder) emit(size, t, dur float64) {
+	b.flushUntil(t)
+	b.nextID++
+	id := b.nextID
+	b.list = append(b.list, item.Item{ID: id, Size: size, Arrival: t, Departure: t + dur})
+	if _, _, err := b.sim.Arrive(id, size, nil, t); err != nil {
+		panic(fmt.Sprintf("workload: BestFitRelay internal sim: %v", err))
+	}
+	b.pending = append(b.pending, departure{id: id, t: t + dur})
+}
+
+func (b *relayBuilder) flushUntil(t float64) {
+	sort.Slice(b.pending, func(i, j int) bool { return b.pending[i].t < b.pending[j].t })
+	i := 0
+	for ; i < len(b.pending) && b.pending[i].t <= t; i++ {
+		if _, _, err := b.sim.Depart(b.pending[i].id, b.pending[i].t); err != nil {
+			panic(fmt.Sprintf("workload: BestFitRelay internal sim depart: %v", err))
+		}
+	}
+	b.pending = append(b.pending[:0], b.pending[i:]...)
+}
+
+// fullestUnsealed mirrors Best Fit's own selection rule, including its Eps
+// tolerance: floating-point residue from differing add/remove histories
+// makes equal levels differ by ~1e-19, and the adversary must break those
+// ties exactly as Best Fit does (earliest bin wins) or its bookkeeping
+// diverges from the algorithm it is steering.
+func fullestUnsealed(open []*bins.Bin, sealed map[int]bool) *bins.Bin {
+	var best *bins.Bin
+	for _, b := range open {
+		if sealed[b.Index] {
+			continue
+		}
+		if best == nil || b.Level() > best.Level()+bins.Eps {
+			best = b
+		}
+	}
+	return best
+}

@@ -1,0 +1,182 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dbp/internal/item"
+)
+
+// Config describes a random workload: N jobs arriving by a Poisson process
+// of rate Rate (exponential inter-arrival gaps), each with a duration and
+// size drawn independently from the given distributions.
+type Config struct {
+	N        int
+	Rate     float64 // arrivals per unit time; must be > 0
+	Size     Dist
+	Duration Dist
+	Seed     int64
+}
+
+// MuBound returns the a-priori duration ratio implied by the duration
+// distribution's support — an upper bound on the realized mu of any
+// generated instance.
+func (c Config) MuBound() float64 {
+	lo, hi := c.Duration.Bounds()
+	return hi / lo
+}
+
+// String summarizes the configuration for experiment tables.
+func (c Config) String() string {
+	return fmt.Sprintf("n=%d rate=%g size=%v dur=%v seed=%d", c.N, c.Rate, c.Size, c.Duration, c.Seed)
+}
+
+// Generate produces the instance described by the configuration. Items
+// are emitted in arrival order with IDs 1..N. It panics on non-positive N
+// or Rate (caller bug, not data).
+func Generate(c Config) item.List {
+	if c.N <= 0 || c.Rate <= 0 {
+		panic(fmt.Sprintf("workload: bad config %v", c))
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	l := make(item.List, c.N)
+	t := 0.0
+	for i := range l {
+		t += rng.ExpFloat64() / c.Rate
+		d := c.Duration.Sample(rng)
+		s := clampSize(c.Size.Sample(rng))
+		l[i] = item.Item{ID: item.ID(i + 1), Size: s, Arrival: t, Departure: t + d}
+	}
+	return l
+}
+
+// GenerateVec produces a d-dimensional instance: each job's demand vector
+// has independent components from Size, with the scalar Size field set to
+// the maximum component (the convention of item.Item). Used by the
+// multi-dimensional extension experiment (E10).
+func GenerateVec(c Config, d int) item.List {
+	if d < 2 {
+		panic("workload: GenerateVec needs d >= 2")
+	}
+	if c.N <= 0 || c.Rate <= 0 {
+		panic(fmt.Sprintf("workload: bad config %v", c))
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	l := make(item.List, c.N)
+	t := 0.0
+	for i := range l {
+		t += rng.ExpFloat64() / c.Rate
+		dur := c.Duration.Sample(rng)
+		vec := make([]float64, d)
+		maxc := 0.0
+		for k := range vec {
+			vec[k] = clampSize(c.Size.Sample(rng))
+			if vec[k] > maxc {
+				maxc = vec[k]
+			}
+		}
+		l[i] = item.Item{ID: item.ID(i + 1), Size: maxc, Sizes: vec, Arrival: t, Departure: t + dur}
+	}
+	return l
+}
+
+// clampSize forces a sampled size into the valid (0, 1] range; the
+// distributions used by experiments are already in range, but defensive
+// clamping keeps misconfigured sweeps from producing invalid instances.
+func clampSize(s float64) float64 {
+	if s <= 0 {
+		return 1e-6
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
+}
+
+// Presets for experiment sweeps: each returns a Config with the given
+// load characteristics. Durations are pinned to [1, mu] so the realized
+// duration ratio matches the experiment's x-axis.
+
+// UniformConfig is the baseline workload: uniform sizes and uniform
+// durations on [1, mu].
+func UniformConfig(n int, rate, mu float64, seed int64) Config {
+	return Config{
+		N: n, Rate: rate, Seed: seed,
+		Size:     Uniform{Lo: 0.05, Hi: 0.95},
+		Duration: Uniform{Lo: 1, Hi: mu},
+	}
+}
+
+// ParetoConfig models heavy-tailed session lengths on [1, mu].
+func ParetoConfig(n int, rate, mu float64, seed int64) Config {
+	return Config{
+		N: n, Rate: rate, Seed: seed,
+		Size:     Uniform{Lo: 0.05, Hi: 0.95},
+		Duration: BoundedPareto{Alpha: 1.2, Lo: 1, Hi: mu},
+	}
+}
+
+// BimodalConfig models a short/long job mix: 80% duration-1 jobs, 20%
+// duration-mu jobs.
+func BimodalConfig(n int, rate, mu float64, seed int64) Config {
+	return Config{
+		N: n, Rate: rate, Seed: seed,
+		Size:     Uniform{Lo: 0.05, Hi: 0.95},
+		Duration: Bimodal{A: Constant{V: 1}, B: Constant{V: mu}, PA: 0.8},
+	}
+}
+
+// SmallItemConfig keeps all sizes at or below 1/2 (the paper's "small"
+// class), the regime where First Fit consolidates aggressively.
+func SmallItemConfig(n int, rate, mu float64, seed int64) Config {
+	return Config{
+		N: n, Rate: rate, Seed: seed,
+		Size:     Uniform{Lo: 0.05, Hi: 0.5},
+		Duration: Uniform{Lo: 1, Hi: mu},
+	}
+}
+
+// BurstyConfig extends Config with a two-state Markov-modulated Poisson
+// arrival process: the source alternates between a calm state (rate
+// Config.Rate) and a burst state (rate Config.Rate * BurstFactor), with
+// exponential sojourn times. Flash crowds are the regime where online
+// dispatching decisions compound — a burst fills servers whose stragglers
+// then linger.
+type BurstyConfig struct {
+	Config
+	// BurstFactor multiplies the arrival rate during bursts (> 1).
+	BurstFactor float64
+	// MeanCalm and MeanBurst are the expected sojourn times in each state.
+	MeanCalm, MeanBurst float64
+}
+
+// GenerateBursty produces the MMPP instance described by the
+// configuration.
+func GenerateBursty(c BurstyConfig) item.List {
+	if c.N <= 0 || c.Rate <= 0 || c.BurstFactor <= 1 || c.MeanCalm <= 0 || c.MeanBurst <= 0 {
+		panic(fmt.Sprintf("workload: bad bursty config %+v", c))
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	l := make(item.List, c.N)
+	t := 0.0
+	inBurst := false
+	stateEnd := rng.ExpFloat64() * c.MeanCalm
+	for i := range l {
+		rate := c.Rate
+		if inBurst {
+			rate *= c.BurstFactor
+		}
+		t += rng.ExpFloat64() / rate
+		for t > stateEnd {
+			inBurst = !inBurst
+			if inBurst {
+				stateEnd += rng.ExpFloat64() * c.MeanBurst
+			} else {
+				stateEnd += rng.ExpFloat64() * c.MeanCalm
+			}
+		}
+		d := c.Duration.Sample(rng)
+		l[i] = item.Item{ID: item.ID(i + 1), Size: clampSize(c.Size.Sample(rng)), Arrival: t, Departure: t + d}
+	}
+	return l
+}
