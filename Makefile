@@ -1,0 +1,39 @@
+GO ?= go
+
+.PHONY: build test quick race vet fmt check bench-ledger bench-fleet figures
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+## quick: the -short tier — soak tests skipped, large-fleet scenarios 10x smaller
+quick:
+	$(GO) test -short ./...
+
+fmt:
+	@files="$$(gofmt -l .)"; \
+	if [ -n "$$files" ]; then \
+		echo "gofmt needed on:"; echo "$$files"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race -short ./...
+
+## check: the full local gate — formatting, vet, and the race-enabled suite
+check: fmt vet race test
+
+## bench-ledger: regenerate BENCH_ledger.json (per-event ledger cost vs fleet size)
+bench-ledger:
+	$(GO) run ./cmd/dbpbench -o BENCH_ledger.json
+
+## bench-fleet: run the large-fleet Go benchmarks once each
+bench-fleet:
+	$(GO) test -run '^$$' -bench LargeFleet -benchtime 1x .
+
+figures:
+	$(GO) run ./cmd/dbpplot

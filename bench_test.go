@@ -173,6 +173,57 @@ func BenchmarkFirstFitEngines(b *testing.B) {
 	})
 }
 
+// Large-fleet scenarios: the arrival rate scales with n, so the number of
+// concurrently open servers B grows linearly with the job count — the
+// regime where any O(B) per-event ledger cost turns the whole run
+// quadratic (the paper's adversarial constructions and real VM-placement
+// traces both live here). Quick mode (-short) shrinks each run 10x.
+func benchLargeFleet(b *testing.B, mkAlgo func() Algorithm, n int, keepAlive float64) {
+	b.Helper()
+	if testing.Short() {
+		n /= 10
+	}
+	jobs := GenerateUniform(n, float64(n)/100, 8, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := packing.Run(mkAlgo(), jobs, &packing.Options{KeepAlive: keepAlive}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(2*n), "events/op")
+}
+
+func fastFF() Algorithm { return packing.NewFastFirstFit() }
+
+func BenchmarkLargeFleetFirstFit100k(b *testing.B) { benchLargeFleet(b, FirstFit, 100_000, 0) }
+func BenchmarkLargeFleetFastFF100k(b *testing.B)   { benchLargeFleet(b, fastFF, 100_000, 0) }
+func BenchmarkLargeFleetFirstFitKeepAlive100k(b *testing.B) {
+	benchLargeFleet(b, FirstFit, 100_000, 0.5)
+}
+func BenchmarkLargeFleetFastFFKeepAlive100k(b *testing.B) {
+	benchLargeFleet(b, fastFF, 100_000, 0.5)
+}
+func BenchmarkLargeFleetFastFFKeepAlive1M(b *testing.B) {
+	benchLargeFleet(b, fastFF, 1_000_000, 0.5)
+}
+
+// The scaling shape behind the BENCH_ledger.json criterion: ns/event of a
+// 100k-job keep-alive run must stay within ~2x of the 10k-job run for the
+// segment-tree engine (cmd/dbpbench emits the machine-readable version).
+func BenchmarkLargeFleetKeepAliveScaling(b *testing.B) {
+	for _, engine := range []struct {
+		name string
+		mk   func() Algorithm
+	}{{"firstfit", FirstFit}, {"fastff", fastFF}} {
+		for _, n := range []int{10_000, 100_000} {
+			b.Run(fmt.Sprintf("%s/n=%d", engine.name, n), func(b *testing.B) {
+				benchLargeFleet(b, engine.mk, n, 0.5)
+			})
+		}
+	}
+}
+
 func BenchmarkE14Fleet(b *testing.B)  { benchExperiment(b, "E14") }
 func BenchmarkE15Bursty(b *testing.B) { benchExperiment(b, "E15") }
 

@@ -1,0 +1,171 @@
+// Command dbpbench measures the per-event cost of the simulator's ledger
+// hot paths on large fleets and writes a machine-readable BENCH_ledger.json
+// so future PRs can track the performance trajectory.
+//
+// The workload scales its arrival rate with the job count, so the number
+// of concurrently open servers B grows linearly with n. An engine whose
+// per-event cost is O(log B) shows a near-flat ns/event column as n grows
+// 10x; any O(B)-per-event path shows roughly 10x growth instead. The
+// emitted "ns_per_event_scaling" map records exactly that ratio per
+// engine and keep-alive setting — the repo's acceptance criterion is that
+// the segment-tree engine's keep-alive ratio stays within ~2x.
+//
+// Examples:
+//
+//	dbpbench
+//	dbpbench -sizes 10000,100000,1000000 -keepalive 0.5 -reps 5 -o BENCH_ledger.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"dbp"
+	"dbp/internal/packing"
+)
+
+// runRecord is one (engine, jobs, keep-alive) measurement: the minimum
+// wall time over the configured repetitions, normalized per event.
+type runRecord struct {
+	Engine     string  `json:"engine"`
+	Jobs       int     `json:"jobs"`
+	KeepAlive  float64 `json:"keep_alive"`
+	Events     int     `json:"events"`
+	BinsOpened int     `json:"bins_opened"`
+	PeakOpen   int     `json:"peak_open"`
+	TotalNs    int64   `json:"total_ns"`
+	NsPerEvent float64 `json:"ns_per_event"`
+}
+
+type report struct {
+	GeneratedBy string      `json:"generated_by"`
+	Mu          float64     `json:"mu"`
+	Seed        int64       `json:"seed"`
+	Reps        int         `json:"reps"`
+	Runs        []runRecord `json:"runs"`
+	// Scaling maps "engine/ka=<v>" to ns/event at the largest job count
+	// divided by ns/event at the smallest. O(log B) engines stay near 1;
+	// O(B)-per-event paths track the size ratio itself.
+	Scaling map[string]float64 `json:"ns_per_event_scaling"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dbpbench: ")
+
+	var (
+		sizesFlag = flag.String("sizes", "10000,100000", "comma-separated job counts (fleet size scales with each)")
+		keepAlive = flag.Float64("keepalive", 0.5, "keep-alive duration for the lingering-server runs")
+		mu        = flag.Float64("mu", 8, "duration ratio bound of the generated workload")
+		seed      = flag.Int64("seed", 1, "workload seed")
+		reps      = flag.Int("reps", 3, "repetitions per configuration (minimum wall time is reported)")
+		engines   = flag.String("engines", "firstfit,fastff", "engines to measure: firstfit (naive scan), fastff (segment tree)")
+		out       = flag.String("o", "BENCH_ledger.json", "output path for the JSON report ('-' for stdout)")
+	)
+	flag.Parse()
+
+	sizes, err := parseSizes(*sizesFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rep := report{
+		GeneratedBy: "cmd/dbpbench",
+		Mu:          *mu,
+		Seed:        *seed,
+		Reps:        *reps,
+		Scaling:     map[string]float64{},
+	}
+	for _, engine := range strings.Split(*engines, ",") {
+		engine = strings.TrimSpace(engine)
+		for _, ka := range []float64{0, *keepAlive} {
+			var recs []runRecord
+			for _, n := range sizes {
+				r, err := measure(engine, n, ka, *mu, *seed, *reps)
+				if err != nil {
+					log.Fatal(err)
+				}
+				fmt.Fprintf(os.Stderr, "%-9s n=%-8d ka=%-4g %8.1f ns/event  (%d bins, peak %d)\n",
+					engine, n, ka, r.NsPerEvent, r.BinsOpened, r.PeakOpen)
+				recs = append(recs, r)
+			}
+			rep.Runs = append(rep.Runs, recs...)
+			if len(recs) > 1 {
+				rep.Scaling[fmt.Sprintf("%s/ka=%g", engine, ka)] =
+					recs[len(recs)-1].NsPerEvent / recs[0].NsPerEvent
+			}
+		}
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s (%d runs)", *out, len(rep.Runs))
+}
+
+// measure runs one configuration reps times and keeps the fastest run
+// (minimum wall time filters scheduler noise, the usual benchmark rule).
+func measure(engine string, n int, keepAlive, mu float64, seed int64, reps int) (runRecord, error) {
+	jobs := dbp.GenerateUniform(n, float64(n)/100, mu, seed)
+	rec := runRecord{Engine: engine, Jobs: n, KeepAlive: keepAlive, Events: 2 * n}
+	for i := 0; i < reps; i++ {
+		algo, err := newEngine(engine)
+		if err != nil {
+			return rec, err
+		}
+		start := time.Now()
+		res, err := packing.Run(algo, jobs, &packing.Options{KeepAlive: keepAlive})
+		elapsed := time.Since(start).Nanoseconds()
+		if err != nil {
+			return rec, err
+		}
+		if rec.TotalNs == 0 || elapsed < rec.TotalNs {
+			rec.TotalNs = elapsed
+		}
+		rec.BinsOpened = res.NumBins()
+		rec.PeakOpen = res.MaxConcurrentOpen
+	}
+	rec.NsPerEvent = float64(rec.TotalNs) / float64(rec.Events)
+	return rec, nil
+}
+
+func newEngine(name string) (dbp.Algorithm, error) {
+	switch name {
+	case "firstfit":
+		return dbp.FirstFit(), nil
+	case "fastff":
+		return packing.NewFastFirstFit(), nil
+	default:
+		return nil, fmt.Errorf("unknown engine %q (valid: firstfit, fastff)", name)
+	}
+}
+
+func parseSizes(s string) ([]int, error) {
+	var sizes []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad size %q", part)
+		}
+		sizes = append(sizes, n)
+	}
+	if len(sizes) == 0 {
+		return nil, fmt.Errorf("no sizes given")
+	}
+	return sizes, nil
+}

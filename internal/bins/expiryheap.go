@@ -1,0 +1,62 @@
+package bins
+
+// expiryEntry schedules the closure of one lingering spell of a bin: the
+// bin emptied at emptySince and, unless revived first, must close at
+// emptySince + keepAlive. Entries are invalidated lazily — reviving a bin
+// leaves its old entry in the heap, and CloseExpired discards any popped
+// entry whose bin is no longer lingering since the recorded emptySince
+// (a revived-and-re-emptied bin has a fresh entry with the later time).
+type expiryEntry struct {
+	emptySince float64
+	bin        *Bin
+}
+
+// expiryHeap is a min-heap of pending keep-alive closures ordered by
+// emptySince. The ledger applies a single keepAlive duration to every
+// bin, so expiry times emptySince + keepAlive share the ordering of the
+// emptySince values themselves. The heap is hand-rolled rather than
+// wrapping container/heap so pushes stay allocation-free on the per-event
+// hot path (container/heap boxes every element into an interface).
+type expiryHeap []expiryEntry
+
+// push adds an entry in O(log n).
+func (h *expiryHeap) push(e expiryEntry) {
+	*h = append(*h, e)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if s[p].emptySince <= s[i].emptySince {
+			break
+		}
+		s[p], s[i] = s[i], s[p]
+		i = p
+	}
+}
+
+// pop removes and returns the entry with the earliest expiry in O(log n).
+// Callers must check len first.
+func (h *expiryHeap) pop() expiryEntry {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = expiryEntry{} // drop the *Bin reference so closed bins can be collected
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l, r, min := 2*i+1, 2*i+2, i
+		if l < n && s[l].emptySince < s[min].emptySince {
+			min = l
+		}
+		if r < n && s[r].emptySince < s[min].emptySince {
+			min = r
+		}
+		if min == i {
+			return top
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
+}

@@ -115,6 +115,70 @@ func TestLedgerKeepAliveCloseExpired(t *testing.T) {
 	}
 }
 
+// Bins must expire in order of emptying time, not opening order, and a
+// single CloseExpired call must close every bin whose expiry has passed —
+// including ties (two bins emptying at the same instant).
+func TestCloseExpiredOrderAndTies(t *testing.T) {
+	g := NewLedgerKeepAlive(1, 1, 2)
+	g.OpenNew(mkItem(1, 0.9, 0, 3), 0) // bin 0, empties last
+	g.OpenNew(mkItem(2, 0.9, 0, 1), 0) // bin 1, empties at 1
+	g.OpenNew(mkItem(3, 0.9, 0, 1), 0) // bin 2, empties at 1 (tie with bin 1)
+	g.Remove(2, 1)
+	g.Remove(3, 1)
+	g.Remove(1, 3)
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Expiries: bins 1 and 2 at 3 (= 1 + 2), bin 0 at 5. At now = 3 the
+	// tied pair closes (half-open: exactly-at-now expires); bin 0 stays.
+	if n := g.CloseExpired(3); n != 2 {
+		t.Fatalf("closed %d at t=3, want 2", n)
+	}
+	for _, idx := range []int{1, 2} {
+		if b := g.AllBins()[idx]; b.IsOpen() || b.ClosedAt() != 3 {
+			t.Fatalf("bin %d: %v, want closed at 3", idx, b)
+		}
+	}
+	if g.NumOpen() != 1 || g.OpenBins()[0].Index != 0 {
+		t.Fatalf("open after t=3: %v", g.OpenBins())
+	}
+	if n := g.CloseExpired(5); n != 1 {
+		t.Fatalf("closed %d at t=5, want 1", n)
+	}
+	if b := g.AllBins()[0]; b.ClosedAt() != 5 {
+		t.Fatalf("bin 0 closed at %g, want 5", b.ClosedAt())
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A bin that empties, is revived, and empties again must expire from its
+// SECOND emptying time: the stale heap entry from the first spell must be
+// discarded, not close the bin early.
+func TestCloseExpiredSkipsRevivedEntry(t *testing.T) {
+	g := NewLedgerKeepAlive(1, 1, 5)
+	b := g.OpenNew(mkItem(1, 0.5, 0, 1), 0)
+	g.Remove(1, 1) // lingers, would expire at 6
+	g.PlaceIn(b, mkItem(2, 0.5, 2, 4), 2)
+	g.Remove(2, 4) // lingers again, expires at 9
+	if n := g.CloseExpired(6); n != 0 {
+		t.Fatalf("stale entry closed %d bins at t=6", n)
+	}
+	if !b.Lingering() {
+		t.Fatal("bin must still be lingering at t=6")
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if n := g.CloseExpired(9); n != 1 {
+		t.Fatalf("closed %d at t=9, want 1", n)
+	}
+	if b.ClosedAt() != 9 {
+		t.Fatalf("closed at %g, want 9 (4 + keep-alive 5)", b.ClosedAt())
+	}
+}
+
 func TestLedgerKeepAliveReuseCancelsShutdown(t *testing.T) {
 	g := NewLedgerKeepAlive(1, 1, 10)
 	b := g.OpenNew(mkItem(1, 0.5, 0, 1), 0)

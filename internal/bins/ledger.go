@@ -3,6 +3,7 @@ package bins
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"dbp/internal/item"
 )
@@ -11,6 +12,11 @@ import (
 // open subset, which bin each item lives in, and the running objective
 // statistics (total usage time, maximum number of concurrently open bins —
 // the classical DBP objective the paper contrasts with, Sec. II).
+//
+// Every per-event operation is O(log B) in the number of open bins B:
+// placements and openings are O(1), Remove locates the bin's open-list
+// slot by binary search, and keep-alive expiries are driven by a min-heap
+// of pending closures instead of a scan of the fleet (DESIGN.md §8).
 type Ledger struct {
 	capacity  float64
 	dim       int
@@ -19,6 +25,10 @@ type Ledger struct {
 	all      []*Bin
 	open     []*Bin // sorted by Index ascending (== opening order)
 	location map[item.ID]*Bin
+	// expiries holds the pending keep-alive closures (min by emptySince),
+	// lazily invalidated: entries for revived bins are discarded when
+	// popped rather than being searched for and deleted.
+	expiries expiryHeap
 
 	maxConcurrentOpen int
 	closedUsage       float64
@@ -57,22 +67,23 @@ func (g *Ledger) KeepAlive() float64 { return g.keepAlive }
 // out by time now (expiry at emptySince + keepAlive, half-open: a bin
 // expiring exactly at now is closed and cannot serve an arrival at now).
 // It returns the number of bins closed.
+//
+// The heap makes the no-expiry case — the overwhelmingly common one, as
+// the simulator and the streaming dispatcher call CloseExpired on every
+// event — a single peek, and each actual closure O(log B).
 func (g *Ledger) CloseExpired(now float64) int {
-	if g.keepAlive == 0 {
-		return 0
-	}
 	closed := 0
-	kept := g.open[:0]
-	for _, b := range g.open {
-		if b.Lingering() && b.EmptySince()+g.keepAlive <= now {
-			b.Close(b.EmptySince() + g.keepAlive)
-			g.closedUsage += b.Usage()
-			closed++
-		} else {
-			kept = append(kept, b)
+	for len(g.expiries) > 0 && g.expiries[0].emptySince+g.keepAlive <= now {
+		e := g.expiries.pop()
+		b := e.bin
+		if !b.Lingering() || b.EmptySince() != e.emptySince {
+			continue // stale: the bin was revived after this entry was pushed
 		}
+		b.Close(e.emptySince + g.keepAlive)
+		g.closedUsage += b.Usage()
+		g.removeOpen(b)
+		closed++
 	}
-	g.open = kept
 	return closed
 }
 
@@ -89,6 +100,7 @@ func (g *Ledger) CloseAllLingering() {
 		}
 	}
 	g.open = kept
+	g.expiries = nil
 }
 
 // Capacity returns the per-dimension bin capacity.
@@ -152,16 +164,29 @@ func (g *Ledger) Remove(id item.ID, t float64) (b *Bin, closed bool) {
 	delete(g.location, id)
 	b.Remove(id, t)
 	if b.IsOpen() {
+		if b.Lingering() {
+			// The bin just emptied into keep-alive; schedule its closure.
+			g.expiries.push(expiryEntry{emptySince: b.EmptySince(), bin: b})
+		}
 		return b, false
 	}
 	g.closedUsage += b.Usage()
-	for i, ob := range g.open {
-		if ob == b {
-			g.open = append(g.open[:i], g.open[i+1:]...)
-			break
-		}
-	}
+	g.removeOpen(b)
 	return b, true
+}
+
+// removeOpen deletes the bin from the Index-sorted open list: an O(log B)
+// binary search for the slot, then a contiguous copy of the tail (a
+// single memmove of pointers, far below the cost of the former
+// pointer-equality scan on large fleets).
+func (g *Ledger) removeOpen(b *Bin) {
+	i := sort.Search(len(g.open), func(i int) bool { return g.open[i].Index >= b.Index })
+	if i == len(g.open) || g.open[i] != b {
+		panic(fmt.Sprintf("bins: bin %d not on the open list", b.Index))
+	}
+	copy(g.open[i:], g.open[i+1:])
+	g.open[len(g.open)-1] = nil // release the tail slot's *Bin
+	g.open = g.open[:len(g.open)-1]
 }
 
 // Locate returns the bin currently holding the item, or nil.
@@ -216,6 +241,31 @@ func (g *Ledger) CheckInvariants() error {
 		}
 		if !b.IsOpen() && math.IsNaN(b.ClosedAt()) {
 			return fmt.Errorf("bin %d closed at NaN", b.Index)
+		}
+	}
+	for i, e := range g.expiries {
+		if e.bin == nil {
+			return fmt.Errorf("nil bin in expiry heap at %d", i)
+		}
+		if i > 0 && g.expiries[(i-1)/2].emptySince > e.emptySince {
+			return fmt.Errorf("expiry heap order violated at %d", i)
+		}
+	}
+	// Every lingering bin must have a live closure scheduled; stale heap
+	// entries for revived bins are legal (lazy invalidation).
+	for _, b := range g.open {
+		if !b.Lingering() {
+			continue
+		}
+		scheduled := false
+		for _, e := range g.expiries {
+			if e.bin == b && e.emptySince == b.EmptySince() {
+				scheduled = true
+				break
+			}
+		}
+		if !scheduled {
+			return fmt.Errorf("lingering bin %d has no pending expiry entry", b.Index)
 		}
 	}
 	return nil

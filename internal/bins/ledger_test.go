@@ -1,6 +1,7 @@
 package bins
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 
@@ -89,6 +90,106 @@ func TestLedgerOpenListOrder(t *testing.T) {
 	}
 	if err := g.CheckInvariants(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// Removing the first, middle, and last bin of the open list exercises
+// every branch of the binary-search deletion.
+func TestLedgerRemoveFirstMiddleLast(t *testing.T) {
+	openOrder := func(g *Ledger) []int {
+		idx := []int{}
+		for _, b := range g.OpenBins() {
+			idx = append(idx, b.Index)
+		}
+		return idx
+	}
+	g := NewLedger(1.0, 1)
+	for i := 0; i < 5; i++ {
+		g.OpenNew(mkItem(item.ID(i), 0.9, 0, 10), 0)
+	}
+	steps := []struct {
+		remove item.ID
+		want   []int
+	}{
+		{0, []int{1, 2, 3, 4}}, // first
+		{4, []int{1, 2, 3}},    // last
+		{2, []int{1, 3}},       // middle
+		{1, []int{3}},
+		{3, []int{}},
+	}
+	for _, s := range steps {
+		if _, closed := g.Remove(s.remove, 1); !closed {
+			t.Fatalf("removing sole item %d must close its bin", s.remove)
+		}
+		got := openOrder(g)
+		if len(got) != len(s.want) {
+			t.Fatalf("after removing %d: open = %v, want %v", s.remove, got, s.want)
+		}
+		for i := range s.want {
+			if got[i] != s.want[i] {
+				t.Fatalf("after removing %d: open = %v, want %v", s.remove, got, s.want)
+			}
+		}
+		if err := g.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// Randomized keep-alive churn: placements, removals, expiries and reuse of
+// lingering bins, with the full invariant check (including the expiry
+// heap) after every step and a usage recomputation at the end.
+func TestLedgerKeepAliveInvariantsRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 20; trial++ {
+		keepAlive := 0.1 + rng.Float64()*3
+		g := NewLedgerKeepAlive(1.0, 1, keepAlive)
+		live := []item.ID{}
+		next := item.ID(0)
+		now := 0.0
+		for step := 0; step < 400; step++ {
+			now += rng.Float64() * 0.5
+			g.CloseExpired(now)
+			if len(live) == 0 || rng.Float64() < 0.55 {
+				it := mkItem(next, 0.05+rng.Float64()*0.9, now, now+1000)
+				next++
+				placed := false
+				for _, b := range g.OpenBins() {
+					if b.Fits(it) {
+						g.PlaceIn(b, it, now)
+						placed = true
+						break
+					}
+				}
+				if !placed {
+					g.OpenNew(it, now)
+				}
+				live = append(live, it.ID)
+			} else {
+				k := rng.Intn(len(live))
+				g.Remove(live[k], now)
+				live = append(live[:k], live[k+1:]...)
+			}
+			if err := g.CheckInvariants(); err != nil {
+				t.Fatalf("trial %d step %d: %v", trial, step, err)
+			}
+		}
+		for _, id := range live {
+			now += rng.Float64() * 0.5
+			g.Remove(id, now)
+		}
+		g.CloseExpired(now + 2*keepAlive + 1)
+		g.CloseAllLingering()
+		if g.NumOpen() != 0 {
+			t.Fatalf("trial %d: %d bins open after drain", trial, g.NumOpen())
+		}
+		var want float64
+		for _, b := range g.AllBins() {
+			want += b.Usage()
+		}
+		if got := g.TotalUsage(0); math.Abs(got-want) > 1e-9*(1+want) {
+			t.Fatalf("trial %d: usage %g, recomputed %g", trial, got, want)
+		}
 	}
 }
 

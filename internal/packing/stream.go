@@ -23,6 +23,12 @@ type Stream struct {
 	nEvent int
 }
 
+// ErrServer is the server index Arrive and Depart return alongside a
+// non-nil error. Real server indices start at 0, so a caller that stores
+// the index before checking the error can never mistake a failed call for
+// an assignment to the first server.
+const ErrServer = -1
+
 // NewStream creates a dispatcher using the given policy. The policy is
 // Reset. dim is the resource dimensionality (1 for the scalar problem);
 // capacity 0 means unit capacity.
@@ -49,19 +55,31 @@ func NewStreamKeepAlive(algo Algorithm, capacity float64, dim int, keepAlive flo
 // index of the server it was assigned to, plus whether a new server was
 // opened for it. sizes carries the vector demand for multi-dimensional
 // streams and must be nil for 1-D streams.
+//
+// On error the returned server index is ErrServer (-1), which no real
+// server ever carries — server 0 is a legitimate assignment, so callers
+// that record indices before checking err cannot confuse the two.
 func (s *Stream) Arrive(id item.ID, size float64, sizes []float64, t float64) (server int, opened bool, err error) {
 	if err := s.advance(t); err != nil {
-		return 0, false, err
+		return ErrServer, false, err
 	}
 	if s.ledger.Locate(id) != nil {
-		return 0, false, fmt.Errorf("packing: job %d already running", id)
+		return ErrServer, false, fmt.Errorf("packing: job %d already running", id)
 	}
 	it := item.Item{ID: id, Size: size, Sizes: sizes, Arrival: t, Departure: math.Inf(1)}
 	if !(size > 0) || size > s.ledger.Capacity()+bins.Eps {
-		return 0, false, fmt.Errorf("packing: job %d size %g cannot fit any server of capacity %g", id, size, s.ledger.Capacity())
+		return ErrServer, false, fmt.Errorf("packing: job %d size %g cannot fit any server of capacity %g", id, size, s.ledger.Capacity())
 	}
 	if it.Dim() != s.ledger.Dim() {
-		return 0, false, fmt.Errorf("packing: job %d has dim %d, stream has dim %d", id, it.Dim(), s.ledger.Dim())
+		return ErrServer, false, fmt.Errorf("packing: job %d has dim %d, stream has dim %d", id, it.Dim(), s.ledger.Dim())
+	}
+	// The scalar check above only constrains size; a vector demand with a
+	// single oversized (or negative / NaN) component would sail past it
+	// and panic inside Bin.Place, so admit per dimension here.
+	for d, c := range sizes {
+		if !(c >= 0) || c > s.ledger.Capacity()+bins.Eps {
+			return ErrServer, false, fmt.Errorf("packing: job %d demand %g in dim %d cannot fit any server of capacity %g", id, c, d, s.ledger.Capacity())
+		}
 	}
 	b := s.algo.Place(view(it, t), s.ledger.OpenBins())
 	lobs, _ := s.algo.(levelObserver)
@@ -76,7 +94,7 @@ func (s *Stream) Arrive(id item.ID, size float64, sizes []float64, t float64) (s
 		return b.Index, true, nil
 	}
 	if !b.IsOpen() || !b.Fits(it) {
-		return 0, false, fmt.Errorf("packing: policy %s returned unusable bin %d for job %d", s.algo.Name(), b.Index, id)
+		return ErrServer, false, fmt.Errorf("packing: policy %s returned unusable bin %d for job %d", s.algo.Name(), b.Index, id)
 	}
 	s.ledger.PlaceIn(b, it, t)
 	if lobs != nil {
@@ -86,13 +104,14 @@ func (s *Stream) Arrive(id item.ID, size float64, sizes []float64, t float64) (s
 }
 
 // Depart reports that the job left at time t. It returns the server index
-// it was on and whether that server shut down (closed) as a result.
+// it was on and whether that server shut down (closed) as a result. On
+// error the server index is ErrServer (-1), never a valid index.
 func (s *Stream) Depart(id item.ID, t float64) (server int, closed bool, err error) {
 	if err := s.advance(t); err != nil {
-		return 0, false, err
+		return ErrServer, false, err
 	}
 	if s.ledger.Locate(id) == nil {
-		return 0, false, fmt.Errorf("packing: job %d is not running", id)
+		return ErrServer, false, fmt.Errorf("packing: job %d is not running", id)
 	}
 	b, closed := s.ledger.Remove(id, t)
 	if lobs, ok := s.algo.(levelObserver); ok {

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"dbp/internal/event"
+	"dbp/internal/item"
 )
 
 func TestStreamBasicFlow(t *testing.T) {
@@ -59,6 +60,78 @@ func TestStreamErrors(t *testing.T) {
 	}
 	if _, _, err := s.Arrive(5, 0.5, []float64{0.5, 0.2}, 12); err == nil {
 		t.Fatal("dimension mismatch must error")
+	}
+}
+
+// Every error path of Arrive and Depart must return the ErrServer (-1)
+// sentinel, never a value collidable with the legitimate server index 0.
+func TestStreamErrorSentinel(t *testing.T) {
+	s := NewStream(NewFirstFit(), 0, 0)
+	if _, _, err := s.Arrive(1, 0.5, nil, 10); err != nil {
+		t.Fatal(err)
+	}
+	arrives := []struct {
+		name  string
+		id    item.ID
+		size  float64
+		sizes []float64
+		t     float64
+	}{
+		{"duplicate job", 1, 0.5, nil, 11},
+		{"time backwards", 2, 0.5, nil, 5},
+		{"oversize", 3, 1.5, nil, 12},
+		{"zero size", 4, 0, nil, 12},
+		{"NaN size", 5, math.NaN(), nil, 12},
+		{"dim mismatch", 6, 0.5, []float64{0.5, 0.2}, 12},
+	}
+	for _, c := range arrives {
+		srv, opened, err := s.Arrive(c.id, c.size, c.sizes, c.t)
+		if err == nil {
+			t.Fatalf("%s: expected error", c.name)
+		}
+		if srv != ErrServer || opened {
+			t.Fatalf("%s: srv=%d opened=%v with error, want ErrServer and false", c.name, srv, opened)
+		}
+	}
+	for _, tm := range []float64{12, 5} { // unknown job; then time backwards
+		srv, closed, err := s.Depart(99, tm)
+		if err == nil {
+			t.Fatal("Depart: expected error")
+		}
+		if srv != ErrServer || closed {
+			t.Fatalf("Depart: srv=%d closed=%v with error, want ErrServer and false", srv, closed)
+		}
+	}
+}
+
+// Regression: a vector job with one component over capacity used to pass
+// the scalar size check and panic inside Bin.Place; it must now be
+// rejected like an oversized scalar job.
+func TestStreamVectorOversizeRejected(t *testing.T) {
+	s := NewStream(NewFirstFit(), 0, 2)
+	if _, _, err := s.Arrive(1, 0.5, []float64{0.5, 0.2}, 0); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name  string
+		sizes []float64
+	}{
+		{"component over capacity", []float64{0.5, 1.5}},
+		{"negative component", []float64{0.5, -0.1}},
+		{"NaN component", []float64{0.5, math.NaN()}},
+	}
+	for _, c := range cases {
+		srv, opened, err := s.Arrive(2, 0.5, c.sizes, 1)
+		if err == nil {
+			t.Fatalf("%s: expected error, got server %d", c.name, srv)
+		}
+		if srv != ErrServer || opened {
+			t.Fatalf("%s: srv=%d opened=%v with error", c.name, srv, opened)
+		}
+	}
+	// The stream must remain usable after rejected arrivals.
+	if _, _, err := s.Arrive(3, 0.4, []float64{0.4, 0.4}, 2); err != nil {
+		t.Fatal(err)
 	}
 }
 
@@ -138,6 +211,79 @@ func TestStreamKeepAlive(t *testing.T) {
 	// Usage: server 0 [0, 11), server 1 [12, 18).
 	if got := s.AccumulatedUsage(99); got != 11+6 {
 		t.Fatalf("usage = %g, want 17", got)
+	}
+}
+
+// A server whose keep-alive expires exactly at an arrival's timestamp is
+// already shut down (half-open expiry) and must not serve that arrival.
+func TestStreamKeepAliveExpiryAtArrival(t *testing.T) {
+	s := NewStreamKeepAlive(NewFirstFit(), 0, 0, 2)
+	s.Arrive(1, 0.5, nil, 0)
+	s.Depart(1, 1) // server 0 lingers, expires at 3
+	srv, opened, err := s.Arrive(2, 0.5, nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !opened || srv != 1 {
+		t.Fatalf("arrival at the expiry instant reused server %d (opened=%v), want fresh server 1", srv, opened)
+	}
+	if b := s.Ledger().AllBins()[0]; b.IsOpen() || b.ClosedAt() != 3 {
+		t.Fatalf("server 0 must be closed at 3, got %v", b)
+	}
+}
+
+// Property: FastFirstFit and FirstFit must produce identical per-job
+// assignments, event by event, on randomized keep-alive streams — the
+// oracle guarding the O(log B) ledger paths (expiry heap + binary-search
+// removal) and the segment-tree engine under lingering servers.
+func TestFastFirstFitKeepAliveStreamEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	keepAlives := []float64{0, 0.3, 1.5, 8}
+	for trial := 0; trial < 8; trial++ {
+		keepAlive := keepAlives[trial%len(keepAlives)]
+		l := randomInstance(rng, 150, 6)
+		naive := NewStreamKeepAlive(NewFirstFit(), 0, 0, keepAlive)
+		fast := NewStreamKeepAlive(NewFastFirstFit(), 0, 0, keepAlive)
+		q := event.NewFromList(l)
+		for q.Len() > 0 {
+			e := q.Pop()
+			if e.Kind == event.Arrive {
+				s1, o1, err1 := naive.Arrive(e.Item.ID, e.Item.Size, nil, e.Time)
+				s2, o2, err2 := fast.Arrive(e.Item.ID, e.Item.Size, nil, e.Time)
+				if err1 != nil || err2 != nil {
+					t.Fatalf("trial %d: arrive errors %v / %v", trial, err1, err2)
+				}
+				if s1 != s2 || o1 != o2 {
+					t.Fatalf("trial %d ka=%g: job %d -> server %d (naive) vs %d (fast), opened %v/%v",
+						trial, keepAlive, e.Item.ID, s1, s2, o1, o2)
+				}
+			} else {
+				s1, c1, err1 := naive.Depart(e.Item.ID, e.Time)
+				s2, c2, err2 := fast.Depart(e.Item.ID, e.Time)
+				if err1 != nil || err2 != nil {
+					t.Fatalf("trial %d: depart errors %v / %v", trial, err1, err2)
+				}
+				if s1 != s2 || c1 != c2 {
+					t.Fatalf("trial %d ka=%g: job %d departed server %d/%d closed %v/%v",
+						trial, keepAlive, e.Item.ID, s1, s2, c1, c2)
+				}
+			}
+			if err := naive.Ledger().CheckInvariants(); err != nil {
+				t.Fatalf("trial %d naive: %v", trial, err)
+			}
+			if err := fast.Ledger().CheckInvariants(); err != nil {
+				t.Fatalf("trial %d fast: %v", trial, err)
+			}
+		}
+		naive.Shutdown()
+		fast.Shutdown()
+		end := l.PackingPeriod().Hi + keepAlive
+		if u1, u2 := naive.AccumulatedUsage(end), fast.AccumulatedUsage(end); u1 != u2 {
+			t.Fatalf("trial %d ka=%g: usage %g (naive) != %g (fast)", trial, keepAlive, u1, u2)
+		}
+		if naive.ServersUsed() != fast.ServersUsed() || naive.PeakServers() != fast.PeakServers() {
+			t.Fatalf("trial %d ka=%g: fleet shape mismatch", trial, keepAlive)
+		}
 	}
 }
 
