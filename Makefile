@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test quick race vet fmt check bench-ledger bench-fleet figures
+.PHONY: build test quick race vet fmt check serve bench-ledger bench-fleet figures
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,10 @@ race:
 
 ## check: the full local gate — formatting, vet, and the race-enabled suite
 check: fmt vet race test
+
+## serve: launch the allocation daemon with sensible defaults
+serve:
+	$(GO) run ./cmd/dbpserved -addr :8080 -algo firstfit
 
 ## bench-ledger: regenerate BENCH_ledger.json (per-event ledger cost vs fleet size)
 bench-ledger:

@@ -31,6 +31,15 @@ type (
 	// Dispatcher drives a policy job-by-job in real time (departures
 	// unknown at arrival), as a cloud provider's front end would.
 	Dispatcher = packing.Stream
+	// DispatcherSnapshot is a detached point-in-time view of a
+	// Dispatcher: objective totals plus per-server utilization, as
+	// returned by Dispatcher.Snapshot and published by the allocation
+	// service (cmd/dbpserved) on its stats endpoint.
+	DispatcherSnapshot = packing.Snapshot
+	// ServerState describes one open server inside a
+	// DispatcherSnapshot: scalar and per-dimension load, job count,
+	// opening time, and keep-alive lingering status.
+	ServerState = packing.ServerState
 	// OptBounds is a certified bracket [Lower, Upper] on OPT_total.
 	OptBounds = opt.Bounds
 	// Ratio is a measured competitive ratio against an OPT bracket.
@@ -39,6 +48,27 @@ type (
 	BillingModel = cloud.BillingModel
 	// Invoice is the renting cost of a run under a billing model.
 	Invoice = cloud.Invoice
+)
+
+// Dispatcher failure classes. Every error returned by
+// Dispatcher.Arrive and Dispatcher.Depart wraps exactly one of these
+// sentinels, so callers classify failures with errors.Is instead of
+// string matching (the dbpserved daemon maps them onto HTTP 409, 404,
+// and 422 responses).
+var (
+	// ErrDuplicateJob: Arrive for a job ID that is already running.
+	ErrDuplicateJob = packing.ErrDuplicateJob
+	// ErrUnknownJob: Depart for a job ID that is not running.
+	ErrUnknownJob = packing.ErrUnknownJob
+	// ErrTimeRegression: an event timestamp before the previous
+	// event's (or non-finite); the dispatcher clock only moves forward.
+	ErrTimeRegression = packing.ErrTimeRegression
+	// ErrBadDemand: a demand no server could ever satisfy
+	// (non-positive, NaN, over capacity, or wrong dimensionality).
+	ErrBadDemand = packing.ErrBadDemand
+	// ErrPolicyMisplace: the policy returned an unusable server — an
+	// implementation bug in the policy, not a caller error.
+	ErrPolicyMisplace = packing.ErrPolicyMisplace
 )
 
 // Policies. Each call returns a fresh, reusable policy instance.

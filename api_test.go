@@ -2,6 +2,7 @@ package dbp
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"testing"
 )
@@ -266,5 +267,33 @@ func TestPublicDispatcherKeepAliveAndExports(t *testing.T) {
 	}
 	if RenderGantt(res, 60) == "" {
 		t.Fatal("empty gantt")
+	}
+}
+
+func TestPublicSnapshotAndErrorClasses(t *testing.T) {
+	d := NewDispatcher(FirstFit(), 0, 1)
+	d.Arrive(1, 0.5, nil, 0)
+	if _, _, err := d.Arrive(1, 0.5, nil, 1); !errors.Is(err, ErrDuplicateJob) {
+		t.Fatalf("duplicate arrive: got %v", err)
+	}
+	if _, _, err := d.Depart(9, 1); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("ghost depart: got %v", err)
+	}
+	if _, _, err := d.Arrive(2, 1.5, nil, 1); !errors.Is(err, ErrBadDemand) {
+		t.Fatalf("oversized arrive: got %v", err)
+	}
+	if _, _, err := d.Arrive(2, 0.5, nil, 0.5); !errors.Is(err, ErrTimeRegression) {
+		t.Fatalf("regressed arrive: got %v", err)
+	}
+	var snap DispatcherSnapshot = d.Snapshot()
+	if snap.OpenServers != 1 || len(snap.Servers) != 1 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	var st ServerState = snap.Servers[0]
+	if st.Index != 0 || st.Level != 0.5 || st.Jobs != 1 {
+		t.Fatalf("server state = %+v", st)
+	}
+	if d.UsageTime() != snap.UsageTime {
+		t.Fatal("UsageTime accessor disagrees with snapshot")
 	}
 }

@@ -1,0 +1,100 @@
+// dbpserved is the allocation-service daemon: an HTTP/JSON front end
+// over the sharded online dispatcher (internal/serve), turning the
+// paper's MinUsageTime DBP policies into a network service a cloud
+// provider's front end would call on every session arrival/departure.
+//
+//	dbpserved -addr :8080 -algo firstfit -shards 8 -keepalive 0
+//
+//	POST /v1/arrive  {"id":1,"size":0.4}          → placement
+//	POST /v1/depart  {"id":1}                     → departure
+//	GET  /v1/stats                                → service statistics
+//	GET  /healthz                                 → liveness
+//	GET  /debug/vars                              → expvar (incl. "dbpserved")
+//
+// On SIGINT/SIGTERM the daemon stops accepting connections, drains
+// in-flight requests, shuts lingering keep-alive servers, and logs the
+// final usage-time and peak-servers totals before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"dbp/internal/packing"
+	"dbp/internal/serve"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		algo      = flag.String("algo", "firstfit", "packing policy: "+strings.Join(packing.Names(), ", "))
+		shards    = flag.Int("shards", 0, "dispatcher shards (0 = GOMAXPROCS)")
+		capacity  = flag.Float64("capacity", 1, "per-dimension server capacity")
+		dim       = flag.Int("dim", 1, "resource dimensionality")
+		keepAlive = flag.Float64("keepalive", 0, "keep emptied servers open this many time units")
+		grace     = flag.Duration("grace", 10*time.Second, "shutdown grace period for in-flight requests")
+	)
+	flag.Parse()
+
+	d, err := serve.New(serve.Config{
+		Algorithm: *algo,
+		Shards:    *shards,
+		Capacity:  *capacity,
+		Dim:       *dim,
+		KeepAlive: *keepAlive,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	expvar.Publish("dbpserved", d.ExpvarFunc())
+
+	mux := http.NewServeMux()
+	mux.Handle("/", serve.NewHandler(d))
+	mux.Handle("/debug/vars", expvar.Handler())
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("dbpserved: %s policy, %d shards, capacity %g, dim %d, keep-alive %g; listening on %s",
+			*algo, d.NumShards(), *capacity, *dim, *keepAlive, *addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("dbpserved: %s — draining (grace %s)", sig, *grace)
+	case err := <-errc:
+		log.Fatal(err)
+	}
+
+	// Stop accepting connections and let in-flight requests finish,
+	// then drain the dispatcher and report the final objective totals.
+	ctx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("dbpserved: shutdown: %v", err)
+	}
+	final := d.Close()
+	log.Printf("dbpserved: final totals — usage time %.6g, peak servers %d, servers used %d, %d still open, %d arrivals, %d departures",
+		final.UsageTime, final.PeakServers, final.ServersUsed, final.OpenServers, final.Arrivals, final.Departures)
+	for _, sh := range final.PerShard {
+		fmt.Printf("shard %d: events %d, usage %.6g, peak %d, open %d\n",
+			sh.Shard, sh.Events, sh.UsageTime, sh.PeakServers, sh.OpenServers)
+	}
+}

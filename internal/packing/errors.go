@@ -1,0 +1,48 @@
+package packing
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Typed failure classes for the streaming dispatcher. Stream.Arrive and
+// Stream.Depart wrap every rejection in exactly one of these sentinels,
+// so callers (notably the allocation service in internal/serve) can
+// classify failures with errors.Is instead of string matching and map
+// them onto protocol-level responses (409, 404, 422, ...). The wrapped
+// errors keep their full diagnostic messages.
+var (
+	// ErrDuplicateJob: Arrive for a job ID that is already running.
+	ErrDuplicateJob = errors.New("duplicate job")
+	// ErrUnknownJob: Depart for a job ID that is not running.
+	ErrUnknownJob = errors.New("unknown job")
+	// ErrTimeRegression: an event timestamp earlier than the previous
+	// event's, or a non-finite timestamp. The stream's clock only moves
+	// forward.
+	ErrTimeRegression = errors.New("time regression")
+	// ErrBadDemand: a job demand no server could ever satisfy —
+	// non-positive, NaN, over capacity in some dimension, or of the
+	// wrong dimensionality for the stream.
+	ErrBadDemand = errors.New("bad demand")
+	// ErrPolicyMisplace: the placement policy returned a closed or
+	// overfull bin. This is a policy implementation bug, not a caller
+	// error.
+	ErrPolicyMisplace = errors.New("policy misplacement")
+)
+
+// streamError carries a fully formatted diagnostic message while
+// unwrapping to its sentinel class, so errors.Is(err, ErrX) works
+// without the sentinel's text leaking into the message.
+type streamError struct {
+	kind error
+	msg  string
+}
+
+func (e *streamError) Error() string { return e.msg }
+func (e *streamError) Unwrap() error { return e.kind }
+
+// failf builds a streamError of the given class with a printf-style
+// message (identical to the former fmt.Errorf text).
+func failf(kind error, format string, args ...any) error {
+	return &streamError{kind: kind, msg: fmt.Sprintf(format, args...)}
+}

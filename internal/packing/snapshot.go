@@ -1,0 +1,77 @@
+package packing
+
+// Snapshot is a point-in-time view of a Stream's state: the running
+// objective totals plus one entry per open server. It is a deep copy —
+// safe to retain, serialize, or inspect after the stream has moved on —
+// which is what the allocation service publishes on its stats endpoint.
+type Snapshot struct {
+	// Now is the time of the last event fed to the stream.
+	Now float64 `json:"now"`
+	// Events is the number of events (arrivals + departures) accepted.
+	Events int `json:"events"`
+	// OpenServers is the number of currently running servers.
+	OpenServers int `json:"open_servers"`
+	// ServersUsed is the total number of servers ever opened.
+	ServersUsed int `json:"servers_used"`
+	// PeakServers is the maximum number of simultaneously open servers.
+	PeakServers int `json:"peak_servers"`
+	// UsageTime is the accumulated server usage time up to Now — the
+	// MinUsageTime objective, what the tenant pays for.
+	UsageTime float64 `json:"usage_time"`
+	// Servers describes each currently open server, ascending by Index.
+	Servers []ServerState `json:"servers,omitempty"`
+}
+
+// ServerState describes one open server inside a Snapshot.
+type ServerState struct {
+	// Index is the server's position in opening order (stream-wide).
+	Index int `json:"index"`
+	// Level is the scalar utilization (first dimension for vector jobs).
+	Level float64 `json:"level"`
+	// Levels is the per-dimension utilization vector.
+	Levels []float64 `json:"levels,omitempty"`
+	// Jobs is the number of jobs currently on the server.
+	Jobs int `json:"jobs"`
+	// OpenedAt is the time the server was opened.
+	OpenedAt float64 `json:"opened_at"`
+	// Lingering reports a keep-alive server that is empty but still
+	// open (and billing) awaiting reuse or expiry.
+	Lingering bool `json:"lingering,omitempty"`
+}
+
+// UsageTime returns the accumulated server usage time up to the last
+// event fed to the stream — AccumulatedUsage(Now()). Open servers
+// accrue usage up to the stream clock.
+func (s *Stream) UsageTime() float64 { return s.ledger.TotalUsage(s.now) }
+
+// Events returns the number of events (arrivals + departures, including
+// any that advanced the clock) accepted so far.
+func (s *Stream) Events() int { return s.nEvent }
+
+// Snapshot captures the stream's current totals and per-server state.
+// The result shares no memory with the stream.
+func (s *Stream) Snapshot() Snapshot {
+	open := s.ledger.OpenBins()
+	snap := Snapshot{
+		Now:         s.now,
+		Events:      s.nEvent,
+		OpenServers: len(open),
+		ServersUsed: s.ledger.NumOpened(),
+		PeakServers: s.ledger.MaxConcurrentOpen(),
+		UsageTime:   s.ledger.TotalUsage(s.now),
+	}
+	if len(open) > 0 {
+		snap.Servers = make([]ServerState, len(open))
+		for i, b := range open {
+			snap.Servers[i] = ServerState{
+				Index:     b.Index,
+				Level:     b.Level(),
+				Levels:    b.LevelVec(),
+				Jobs:      b.NumActive(),
+				OpenedAt:  b.OpenedAt(),
+				Lingering: b.Lingering(),
+			}
+		}
+	}
+	return snap
+}

@@ -1,7 +1,6 @@
 package packing
 
 import (
-	"fmt"
 	"math"
 
 	"dbp/internal/bins"
@@ -64,21 +63,21 @@ func (s *Stream) Arrive(id item.ID, size float64, sizes []float64, t float64) (s
 		return ErrServer, false, err
 	}
 	if s.ledger.Locate(id) != nil {
-		return ErrServer, false, fmt.Errorf("packing: job %d already running", id)
+		return ErrServer, false, failf(ErrDuplicateJob, "packing: job %d already running", id)
 	}
 	it := item.Item{ID: id, Size: size, Sizes: sizes, Arrival: t, Departure: math.Inf(1)}
 	if !(size > 0) || size > s.ledger.Capacity()+bins.Eps {
-		return ErrServer, false, fmt.Errorf("packing: job %d size %g cannot fit any server of capacity %g", id, size, s.ledger.Capacity())
+		return ErrServer, false, failf(ErrBadDemand, "packing: job %d size %g cannot fit any server of capacity %g", id, size, s.ledger.Capacity())
 	}
 	if it.Dim() != s.ledger.Dim() {
-		return ErrServer, false, fmt.Errorf("packing: job %d has dim %d, stream has dim %d", id, it.Dim(), s.ledger.Dim())
+		return ErrServer, false, failf(ErrBadDemand, "packing: job %d has dim %d, stream has dim %d", id, it.Dim(), s.ledger.Dim())
 	}
 	// The scalar check above only constrains size; a vector demand with a
 	// single oversized (or negative / NaN) component would sail past it
 	// and panic inside Bin.Place, so admit per dimension here.
 	for d, c := range sizes {
 		if !(c >= 0) || c > s.ledger.Capacity()+bins.Eps {
-			return ErrServer, false, fmt.Errorf("packing: job %d demand %g in dim %d cannot fit any server of capacity %g", id, c, d, s.ledger.Capacity())
+			return ErrServer, false, failf(ErrBadDemand, "packing: job %d demand %g in dim %d cannot fit any server of capacity %g", id, c, d, s.ledger.Capacity())
 		}
 	}
 	b := s.algo.Place(view(it, t), s.ledger.OpenBins())
@@ -94,7 +93,7 @@ func (s *Stream) Arrive(id item.ID, size float64, sizes []float64, t float64) (s
 		return b.Index, true, nil
 	}
 	if !b.IsOpen() || !b.Fits(it) {
-		return ErrServer, false, fmt.Errorf("packing: policy %s returned unusable bin %d for job %d", s.algo.Name(), b.Index, id)
+		return ErrServer, false, failf(ErrPolicyMisplace, "packing: policy %s returned unusable bin %d for job %d", s.algo.Name(), b.Index, id)
 	}
 	s.ledger.PlaceIn(b, it, t)
 	if lobs != nil {
@@ -111,7 +110,7 @@ func (s *Stream) Depart(id item.ID, t float64) (server int, closed bool, err err
 		return ErrServer, false, err
 	}
 	if s.ledger.Locate(id) == nil {
-		return ErrServer, false, fmt.Errorf("packing: job %d is not running", id)
+		return ErrServer, false, failf(ErrUnknownJob, "packing: job %d is not running", id)
 	}
 	b, closed := s.ledger.Remove(id, t)
 	if lobs, ok := s.algo.(levelObserver); ok {
@@ -122,10 +121,10 @@ func (s *Stream) Depart(id item.ID, t float64) (server int, closed bool, err err
 
 func (s *Stream) advance(t float64) error {
 	if math.IsNaN(t) || math.IsInf(t, 0) {
-		return fmt.Errorf("packing: non-finite time %g", t)
+		return failf(ErrTimeRegression, "packing: non-finite time %g", t)
 	}
 	if s.nEvent > 0 && t < s.now {
-		return fmt.Errorf("packing: time went backwards (%g after %g)", t, s.now)
+		return failf(ErrTimeRegression, "packing: time went backwards (%g after %g)", t, s.now)
 	}
 	s.now = t
 	s.nEvent++

@@ -1,0 +1,275 @@
+// Package serve is the allocation-service layer: a thread-safe, sharded
+// dispatcher over packing.Stream plus the JSON/HTTP front end that
+// cmd/dbpserved mounts. Tenants (job IDs) are partitioned across N
+// independent shards by a fixed hash, each shard owning one stream
+// guarded by a mutex, so throughput scales with cores while every shard
+// keeps the paper's strictly sequential online semantics. Jobs never
+// interact across servers, so sharding the fleet preserves each
+// policy's per-shard behavior exactly; the global usage-time objective
+// is the sum over shards.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dbp/internal/item"
+	"dbp/internal/packing"
+)
+
+// ErrClosed is returned for requests arriving after Close has begun
+// draining the dispatcher; the HTTP layer maps it to 503.
+var ErrClosed = errors.New("serve: dispatcher is shutting down")
+
+// Config configures a Dispatcher.
+type Config struct {
+	// Algorithm is the packing policy short name ("firstfit", ...);
+	// each shard gets its own fresh instance. Empty means "firstfit".
+	Algorithm string
+	// Shards is the number of independent streams; <= 0 means
+	// GOMAXPROCS.
+	Shards int
+	// Capacity is the per-dimension server capacity (0 means 1.0).
+	Capacity float64
+	// Dim is the resource dimensionality (0 means 1).
+	Dim int
+	// KeepAlive keeps emptied servers open (reusable) for this many
+	// time units, as in packing.NewStreamKeepAlive.
+	KeepAlive float64
+	// RecordEvents journals every accepted event per shard (as actually
+	// applied, post clock guard) for audit and replay reconciliation.
+	RecordEvents bool
+	// Clock overrides the service clock (seconds since some epoch,
+	// non-decreasing). Nil means a monotonic wall clock starting at 0
+	// when the dispatcher is created. Tests inject deterministic time.
+	Clock func() float64
+}
+
+// Event is one journaled shard event, recorded exactly as fed to the
+// shard's stream (time is post-guard), so a sequential replay of a
+// shard's journal reproduces its stream state bit for bit.
+type Event struct {
+	Kind   string    `json:"kind"` // "arrive" or "depart"
+	ID     item.ID   `json:"id"`
+	Size   float64   `json:"size,omitempty"`
+	Sizes  []float64 `json:"sizes,omitempty"`
+	Time   float64   `json:"time"`
+	Server int       `json:"server"`
+}
+
+// Placement is the outcome of a successful Arrive.
+type Placement struct {
+	ID     item.ID `json:"id"`
+	Shard  int     `json:"shard"`
+	Server int     `json:"server"` // index within the shard's fleet
+	Opened bool    `json:"opened"` // a new server was started for this job
+	Time   float64 `json:"time"`   // the time the event was applied at
+}
+
+// Departure is the outcome of a successful Depart.
+type Departure struct {
+	ID     item.ID `json:"id"`
+	Shard  int     `json:"shard"`
+	Server int     `json:"server"`
+	Closed bool    `json:"closed"` // the server shut down as a result
+	Time   float64 `json:"time"`
+}
+
+type shard struct {
+	mu     sync.Mutex
+	stream *packing.Stream
+	closed bool
+	log    []Event
+}
+
+// guard clamps a service-assigned timestamp so it never regresses the
+// shard's stream clock: two requests can read the service clock in one
+// order and win the shard lock in the other, and a rejected event (a
+// duplicate arrive, say) still advances the stream clock before being
+// refused. Explicit caller timestamps are never rewritten.
+func (sh *shard) guard(at float64, assigned bool) float64 {
+	if assigned && sh.stream.Events() > 0 && at < sh.stream.Now() {
+		return sh.stream.Now()
+	}
+	return at
+}
+
+// Dispatcher routes jobs to shards and serializes each shard's events.
+// All methods are safe for concurrent use.
+type Dispatcher struct {
+	cfg     Config
+	shards  []*shard
+	metrics metrics
+	start   time.Time
+	clock   func() float64
+
+	closing  sync.Once
+	draining atomic.Bool
+	final    atomic.Pointer[Stats] // set once by Close
+}
+
+// New creates a sharded dispatcher. It fails only on an unknown policy
+// name or invalid configuration.
+func New(cfg Config) (*Dispatcher, error) {
+	if cfg.Algorithm == "" {
+		cfg.Algorithm = "firstfit"
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
+	}
+	if cfg.KeepAlive < 0 {
+		return nil, fmt.Errorf("serve: negative keep-alive %g", cfg.KeepAlive)
+	}
+	d := &Dispatcher{cfg: cfg, shards: make([]*shard, cfg.Shards), start: time.Now()}
+	for i := range d.shards {
+		algo, err := packing.ByName(cfg.Algorithm)
+		if err != nil {
+			return nil, err
+		}
+		d.shards[i] = &shard{stream: packing.NewStreamKeepAlive(algo, cfg.Capacity, cfg.Dim, cfg.KeepAlive)}
+	}
+	d.clock = cfg.Clock
+	if d.clock == nil {
+		// time.Since reads Go's monotonic clock, immune to wall-clock
+		// steps; the per-shard guard below still clamps the residual
+		// race between reading the clock and winning the shard lock.
+		d.clock = func() float64 { return time.Since(d.start).Seconds() }
+	}
+	return d, nil
+}
+
+// NumShards returns the number of shards.
+func (d *Dispatcher) NumShards() int { return len(d.shards) }
+
+// splitmix64 is the SplitMix64 finalizer: a fixed, well-mixing hash so
+// that job-ID → shard routing is consistent across restarts and spreads
+// sequential tenant IDs evenly.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// ShardFor returns the shard index the job ID routes to.
+func (d *Dispatcher) ShardFor(id item.ID) int {
+	return int(splitmix64(uint64(id)) % uint64(len(d.shards)))
+}
+
+// resolveTime picks the event time: the caller's explicit timestamp if
+// t is non-nil, else the service clock. assigned reports the latter, in
+// which case the shard guard may clamp it forward (service-clock reads
+// racing for the shard lock may arrive out of order); explicit caller
+// timestamps are never silently rewritten — a regression there is the
+// caller's error and surfaces as packing.ErrTimeRegression.
+func (d *Dispatcher) resolveTime(t *float64) (float64, bool) {
+	if t != nil {
+		return *t, false
+	}
+	return d.clock(), true
+}
+
+// Arrive dispatches a job to its shard. A nil t means "now" (service
+// clock). On error the returned Placement is zero-valued.
+func (d *Dispatcher) Arrive(id item.ID, size float64, sizes []float64, t *float64) (Placement, error) {
+	at, assigned := d.resolveTime(t)
+	si := d.ShardFor(id)
+	sh := d.shards[si]
+
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.closed {
+		d.metrics.reject(ErrClosed)
+		return Placement{}, ErrClosed
+	}
+	at = sh.guard(at, assigned)
+	server, opened, err := sh.stream.Arrive(id, size, sizes, at)
+	if err != nil {
+		d.metrics.reject(err)
+		return Placement{}, err
+	}
+	d.metrics.arrivals.Add(1)
+	if opened {
+		d.metrics.serversOpened.Add(1)
+	}
+	if d.cfg.RecordEvents {
+		sh.log = append(sh.log, Event{Kind: "arrive", ID: id, Size: size, Sizes: sizes, Time: at, Server: server})
+	}
+	return Placement{ID: id, Shard: si, Server: server, Opened: opened, Time: at}, nil
+}
+
+// Depart reports a job departure to its shard. A nil t means "now".
+func (d *Dispatcher) Depart(id item.ID, t *float64) (Departure, error) {
+	at, assigned := d.resolveTime(t)
+	si := d.ShardFor(id)
+	sh := d.shards[si]
+
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.closed {
+		d.metrics.reject(ErrClosed)
+		return Departure{}, ErrClosed
+	}
+	at = sh.guard(at, assigned)
+	server, closed, err := sh.stream.Depart(id, at)
+	if err != nil {
+		d.metrics.reject(err)
+		return Departure{}, err
+	}
+	d.metrics.departures.Add(1)
+	if closed {
+		d.metrics.serversClosed.Add(1)
+	}
+	if d.cfg.RecordEvents {
+		sh.log = append(sh.log, Event{Kind: "depart", ID: id, Time: at, Server: server})
+	}
+	return Departure{ID: id, Shard: si, Server: server, Closed: closed, Time: at}, nil
+}
+
+// ShardEvents returns a copy of shard i's journal (Config.RecordEvents
+// must be on). The journal lists events in the exact order the shard
+// applied them.
+func (d *Dispatcher) ShardEvents(i int) []Event {
+	sh := d.shards[i]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	out := make([]Event, len(sh.log))
+	copy(out, sh.log)
+	return out
+}
+
+// Snapshot returns shard i's stream snapshot (totals + open servers).
+func (d *Dispatcher) Snapshot(i int) packing.Snapshot {
+	sh := d.shards[i]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.stream.Snapshot()
+}
+
+// Close drains the dispatcher: every request that already holds a shard
+// is allowed to finish, later requests get ErrClosed, lingering
+// keep-alive servers are shut down at their natural expiry, and the
+// final totals are computed. Close is idempotent; every call returns
+// the same final Stats.
+func (d *Dispatcher) Close() Stats {
+	d.closing.Do(func() {
+		d.draining.Store(true)
+		for _, sh := range d.shards {
+			sh.mu.Lock()
+			sh.closed = true
+			sh.stream.Shutdown()
+			sh.mu.Unlock()
+		}
+		s := d.Stats()
+		d.final.Store(&s)
+	})
+	return *d.final.Load()
+}
+
+// Draining reports whether Close has begun; the health endpoint flips
+// to 503 the moment this is true.
+func (d *Dispatcher) Draining() bool { return d.draining.Load() }

@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+
+	"dbp/internal/item"
+	"dbp/internal/packing"
+)
+
+// ArriveRequest is the POST /v1/arrive body. Time is optional: absent
+// means "now" on the service clock; explicit times must be non-
+// decreasing per shard (422 on regression).
+type ArriveRequest struct {
+	ID    item.ID   `json:"id"`
+	Size  float64   `json:"size"`
+	Sizes []float64 `json:"sizes,omitempty"`
+	Time  *float64  `json:"time,omitempty"`
+}
+
+// DepartRequest is the POST /v1/depart body.
+type DepartRequest struct {
+	ID   item.ID  `json:"id"`
+	Time *float64 `json:"time,omitempty"`
+}
+
+// ErrorResponse is the JSON body of every non-2xx API response.
+type ErrorResponse struct {
+	// Code is a stable machine-readable class; Error is the diagnostic.
+	Code  string `json:"code"`
+	Error string `json:"error"`
+}
+
+// maxBodyBytes bounds request bodies; arrive/depart payloads are tiny,
+// so anything larger is malformed or hostile.
+const maxBodyBytes = 1 << 20
+
+// statusOf maps a dispatcher error onto its HTTP status and stable
+// error code. Unknown errors are internal (500).
+func statusOf(err error) (int, string) {
+	switch {
+	case errors.Is(err, packing.ErrDuplicateJob):
+		return http.StatusConflict, "duplicate_job" // 409
+	case errors.Is(err, packing.ErrUnknownJob):
+		return http.StatusNotFound, "unknown_job" // 404
+	case errors.Is(err, packing.ErrBadDemand):
+		return http.StatusUnprocessableEntity, "bad_demand" // 422
+	case errors.Is(err, packing.ErrTimeRegression):
+		return http.StatusUnprocessableEntity, "time_regression" // 422
+	case errors.Is(err, packing.ErrPolicyMisplace):
+		return http.StatusInternalServerError, "policy_misplace" // 500
+	case errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable, "shutting_down" // 503
+	default:
+		return http.StatusInternalServerError, "internal"
+	}
+}
+
+// NewHandler mounts the allocation-service API onto a fresh mux:
+//
+//	POST /v1/arrive  — place a job; body ArriveRequest, reply Placement
+//	POST /v1/depart  — report a departure; body DepartRequest, reply Departure
+//	GET  /v1/stats   — service-wide Stats
+//	GET  /healthz    — liveness ("ok", or 503 once draining)
+//
+// Responses are JSON; failures carry an ErrorResponse with a stable
+// code (409 duplicate_job, 404 unknown_job, 422 bad_demand /
+// time_regression, 503 shutting_down, 400 bad_request).
+func NewHandler(d *Dispatcher) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/arrive", func(w http.ResponseWriter, r *http.Request) {
+		var req ArriveRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		p, err := d.Arrive(req.ID, req.Size, req.Sizes, req.Time)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, p)
+	})
+	mux.HandleFunc("POST /v1/depart", func(w http.ResponseWriter, r *http.Request) {
+		var req DepartRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		dep, err := d.Depart(req.ID, req.Time)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, dep)
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, d.Stats())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		if d.Draining() {
+			writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Code: "shutting_down", Error: ErrClosed.Error()})
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ok\n")
+	})
+	return mux
+}
+
+// decode parses a JSON request body strictly (unknown fields and
+// trailing garbage are 400s) and writes the error response itself on
+// failure.
+func decode(w http.ResponseWriter, r *http.Request, into any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Code: "bad_request", Error: "bad JSON body: " + err.Error()})
+		return false
+	}
+	if dec.More() {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Code: "bad_request", Error: "trailing data after JSON body"})
+		return false
+	}
+	return true
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	status, code := statusOf(err)
+	writeJSON(w, status, ErrorResponse{Code: code, Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,143 @@
+package serve
+
+import (
+	"errors"
+	"expvar"
+	"sync/atomic"
+
+	"dbp/internal/packing"
+)
+
+// metrics is the dispatcher's lock-free counter core. Counters are
+// plain atomics bumped on the request path; gauges derived from stream
+// state (usage time, open servers) are computed on demand in Stats by
+// briefly visiting each shard.
+type metrics struct {
+	arrivals      atomic.Uint64
+	departures    atomic.Uint64
+	serversOpened atomic.Uint64
+	serversClosed atomic.Uint64
+
+	rejectDuplicate  atomic.Uint64
+	rejectUnknown    atomic.Uint64
+	rejectBadDemand  atomic.Uint64
+	rejectRegression atomic.Uint64
+	rejectPolicy     atomic.Uint64
+	rejectClosed     atomic.Uint64
+	rejectOther      atomic.Uint64
+}
+
+// reject classifies a request error into its rejection counter.
+func (m *metrics) reject(err error) {
+	switch {
+	case errors.Is(err, packing.ErrDuplicateJob):
+		m.rejectDuplicate.Add(1)
+	case errors.Is(err, packing.ErrUnknownJob):
+		m.rejectUnknown.Add(1)
+	case errors.Is(err, packing.ErrBadDemand):
+		m.rejectBadDemand.Add(1)
+	case errors.Is(err, packing.ErrTimeRegression):
+		m.rejectRegression.Add(1)
+	case errors.Is(err, packing.ErrPolicyMisplace):
+		m.rejectPolicy.Add(1)
+	case errors.Is(err, ErrClosed):
+		m.rejectClosed.Add(1)
+	default:
+		m.rejectOther.Add(1)
+	}
+}
+
+// Stats is the service-wide view published on GET /v1/stats and via
+// expvar. Aggregates are sums over shards; note PeakServers sums each
+// shard's own peak, an upper bound on the true instantaneous global
+// peak (shards do not peak simultaneously in general).
+type Stats struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Shards        int     `json:"shards"`
+	Algorithm     string  `json:"algorithm"`
+
+	Arrivals   uint64 `json:"arrivals"`
+	Departures uint64 `json:"departures"`
+	// EventsPerSecond is lifetime throughput: accepted events / uptime.
+	EventsPerSecond float64 `json:"events_per_second"`
+
+	Rejected map[string]uint64 `json:"rejected,omitempty"`
+
+	OpenServers int     `json:"open_servers"`
+	ServersUsed int     `json:"servers_used"`
+	PeakServers int     `json:"peak_servers"`
+	UsageTime   float64 `json:"usage_time"`
+
+	PerShard []ShardStats `json:"per_shard"`
+}
+
+// ShardStats is one shard's contribution to Stats.
+type ShardStats struct {
+	Shard       int     `json:"shard"`
+	Clock       float64 `json:"clock"` // last event time fed to the shard
+	Events      int     `json:"events"`
+	OpenServers int     `json:"open_servers"`
+	ServersUsed int     `json:"servers_used"`
+	PeakServers int     `json:"peak_servers"`
+	UsageTime   float64 `json:"usage_time"`
+}
+
+// Stats assembles the current service-wide statistics. It visits each
+// shard under its lock (read-only, O(open servers) per shard) and so
+// observes a per-shard-consistent state.
+func (d *Dispatcher) Stats() Stats {
+	s := Stats{
+		UptimeSeconds: d.clock(),
+		Shards:        len(d.shards),
+		Algorithm:     d.cfg.Algorithm,
+		Arrivals:      d.metrics.arrivals.Load(),
+		Departures:    d.metrics.departures.Load(),
+		PerShard:      make([]ShardStats, len(d.shards)),
+	}
+	rejected := map[string]uint64{
+		"duplicate_job":   d.metrics.rejectDuplicate.Load(),
+		"unknown_job":     d.metrics.rejectUnknown.Load(),
+		"bad_demand":      d.metrics.rejectBadDemand.Load(),
+		"time_regression": d.metrics.rejectRegression.Load(),
+		"policy":          d.metrics.rejectPolicy.Load(),
+		"shutting_down":   d.metrics.rejectClosed.Load(),
+		"other":           d.metrics.rejectOther.Load(),
+	}
+	s.Rejected = make(map[string]uint64)
+	for k, v := range rejected {
+		if v > 0 {
+			s.Rejected[k] = v
+		}
+	}
+	for i, sh := range d.shards {
+		sh.mu.Lock()
+		snap := sh.stream.Snapshot()
+		sh.mu.Unlock()
+		s.PerShard[i] = ShardStats{
+			Shard:       i,
+			Clock:       snap.Now,
+			Events:      snap.Events,
+			OpenServers: snap.OpenServers,
+			ServersUsed: snap.ServersUsed,
+			PeakServers: snap.PeakServers,
+			UsageTime:   snap.UsageTime,
+		}
+		s.OpenServers += snap.OpenServers
+		s.ServersUsed += snap.ServersUsed
+		s.PeakServers += snap.PeakServers
+		s.UsageTime += snap.UsageTime
+	}
+	if s.UptimeSeconds > 0 {
+		s.EventsPerSecond = float64(s.Arrivals+s.Departures) / s.UptimeSeconds
+	}
+	return s
+}
+
+// ExpvarFunc returns an expvar.Func publishing the dispatcher's Stats.
+// The caller owns naming and registration (expvar.Publish is global and
+// once-only per name, so the daemon — not the package — registers it):
+//
+//	expvar.Publish("dbpserved", d.ExpvarFunc())
+func (d *Dispatcher) ExpvarFunc() expvar.Func {
+	return expvar.Func(func() any { return d.Stats() })
+}
