@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test quick race vet fmt check serve bench-ledger bench-fleet figures
+.PHONY: build test quick race vet fmt check serve bench-ledger bench-fleet figures loadtest loadtest-short loadtest-ramp
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,20 @@ check: fmt vet race test
 ## serve: launch the allocation daemon with sensible defaults
 serve:
 	$(GO) run ./cmd/dbpserved -addr :8080 -algo firstfit
+
+## loadtest: benchmark a running dbpserved (start one with `make serve`) over
+## HTTP at a fixed open-loop rate; writes BENCH_serve.json
+loadtest:
+	$(GO) run ./cmd/dbpload -target http -addr localhost:8080 -mode open -rate 5000 -warmup 2s -measure 10s -o BENCH_serve.json
+
+## loadtest-short: ~5s in-process smoke benchmark (no daemon needed) — the CI
+## tier; writes BENCH_serve.json
+loadtest-short:
+	$(GO) run ./cmd/dbpload -target inproc -mode open -rate 2000 -warmup 1s -measure 3s -jobs 20000 -o BENCH_serve.json
+
+## loadtest-ramp: find the max rate a running dbpserved sustains under a 5ms p99 SLO
+loadtest-ramp:
+	$(GO) run ./cmd/dbpload -target http -addr localhost:8080 -ramp -slo-p99 5ms -o BENCH_serve.json
 
 ## bench-ledger: regenerate BENCH_ledger.json (per-event ledger cost vs fleet size)
 bench-ledger:

@@ -1,0 +1,204 @@
+// dbpload is the YCSB-style load generator and latency harness for the
+// allocation service: it replays generated arrive/depart workloads
+// through either a running dbpserved (HTTP/JSON) or an in-process
+// dispatcher, in open-loop (fixed ops/s, coordinated-omission-free) or
+// closed-loop (N users with think time) mode, and writes the
+// BENCH_serve.json results file every serving-perf PR is judged
+// against.
+//
+//	# benchmark a local daemon at 5000 ops/s
+//	dbpserved -addr :8080 &
+//	dbpload -target http -addr localhost:8080 -mode open -rate 5000
+//
+//	# in-process smoke run (no daemon needed), then regression-check
+//	dbpload -target inproc -measure 3s -o BENCH_serve.json
+//	dbpload -target inproc -measure 3s -compare BENCH_serve.json
+//
+//	# find the max rate sustaining a 5ms p99
+//	dbpload -target http -addr localhost:8080 -ramp -slo-p99 5ms
+//
+// Exit codes: 0 success, 1 usage/run error, 2 regression detected by
+// -compare.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"dbp/internal/load"
+	"dbp/internal/serve"
+)
+
+func main() {
+	var (
+		target  = flag.String("target", "inproc", "transport: inproc (own dispatcher) or http (running dbpserved)")
+		addr    = flag.String("addr", "localhost:8080", "dbpserved host:port for -target http")
+		mode    = flag.String("mode", "open", "pacing: open (fixed rate) or closed (clients + think time)")
+		rate    = flag.Float64("rate", 5000, "open-loop target ops/s (arrivals + departures)")
+		clients = flag.Int("clients", 0, "concurrent load clients (0 = mode default)")
+		think   = flag.Duration("think", 0, "closed-loop think time between a client's ops")
+		warmup  = flag.Duration("warmup", 2*time.Second, "warmup phase (measured ops excluded)")
+		measure = flag.Duration("measure", 10*time.Second, "measurement window")
+		drain   = flag.Duration("drain", 30*time.Second, "max time to depart jobs still active at measure end")
+
+		wl        = flag.String("workload", "uniform", "workload shape: uniform, pareto, bimodal, smallitem")
+		jobs      = flag.Int("jobs", 50000, "jobs per script epoch (the script loops under fresh IDs)")
+		mu        = flag.Float64("mu", 10, "duration ratio of the workload")
+		traceRate = flag.Float64("trace-rate", 50, "script arrival rate; with mean duration this sets the active-population level")
+		seed      = flag.Int64("seed", 1, "workload seed")
+		dim       = flag.Int("dim", 1, "demand dimensionality (>1 = vector jobs)")
+
+		algo      = flag.String("algo", "firstfit", "inproc: packing policy")
+		shards    = flag.Int("shards", 0, "inproc: dispatcher shards (0 = GOMAXPROCS)")
+		keepAlive = flag.Float64("keepalive", 0, "inproc: keep emptied servers open this many time units")
+
+		out     = flag.String("o", "BENCH_serve.json", "results file to write")
+		compare = flag.String("compare", "", "baseline results file; exit 2 if p99/throughput regress past -tolerance")
+		tol     = flag.Float64("tolerance", 25, "regression tolerance for -compare, percent")
+
+		ramp      = flag.Bool("ramp", false, "run the max-sustainable-throughput search instead of a single rate")
+		sloP99    = flag.Duration("slo-p99", 5*time.Millisecond, "ramp: p99 latency SLO")
+		rampStart = flag.Float64("ramp-start", 500, "ramp: starting rate, ops/s")
+		rampMax   = flag.Float64("ramp-max", 512000, "ramp: rate ceiling, ops/s")
+		rampProbe = flag.Duration("ramp-probe", 3*time.Second, "ramp: measure window per probe")
+	)
+	flag.Parse()
+
+	script, err := load.GenerateScript(load.WorkloadName(*wl), *jobs, *traceRate, *mu, *seed, *dim)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var tgt load.Target
+	switch *target {
+	case "inproc":
+		d, err := serve.New(serve.Config{Algorithm: *algo, Shards: *shards, Dim: *dim, KeepAlive: *keepAlive})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer d.Close()
+		tgt = &load.InProc{D: d}
+	case "http":
+		nc := *clients
+		if nc <= 0 {
+			nc = 128
+		}
+		tgt = load.NewHTTP("http://"+*addr, nc, 30*time.Second)
+	default:
+		log.Fatalf("dbpload: unknown -target %q (want inproc or http)", *target)
+	}
+
+	opts := load.Options{
+		Target:  tgt,
+		Script:  script,
+		Mode:    load.Mode(*mode),
+		Rate:    *rate,
+		Clients: *clients,
+		Think:   *think,
+		Warmup:  *warmup,
+		Measure: *measure,
+		Drain:   *drain,
+		WorkloadLabel: fmt.Sprintf("%s jobs=%d mu=%g trace-rate=%g seed=%d dim=%d",
+			*wl, *jobs, *mu, *traceRate, *seed, *dim),
+	}
+
+	var rep *load.Report
+	if *ramp {
+		log.Printf("dbpload: ramp search on %s target, SLO p99 %s, %g..%g ops/s",
+			tgt.Name(), *sloP99, *rampStart, *rampMax)
+		rr, err := load.RampSearch(opts, load.RampOptions{
+			Start: *rampStart, Max: *rampMax, SLOp99: *sloP99, Probe: *rampProbe,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, p := range rr.Probes {
+			status := "ok"
+			if !p.OK {
+				status = "FAIL: " + p.Why
+			}
+			log.Printf("  probe %7.0f ops/s: achieved %7.0f, worst p99 %8.0fus — %s",
+				p.Rate, p.Achieved, p.P99US, status)
+		}
+		log.Printf("dbpload: max sustainable rate under %s p99 SLO: %.0f ops/s", *sloP99, rr.MaxSustainable)
+		// The final report re-measures at the sustained rate so the
+		// results file carries real percentiles, with the search
+		// trajectory attached.
+		if rr.MaxSustainable > 0 {
+			opts.Rate = rr.MaxSustainable
+			opts.Mode = load.ModeOpen
+			opts.IDBase = int64(len(rr.Probes)+1) * 1_000_000_000_000
+			rep, err = load.Run(opts)
+			if err != nil {
+				log.Fatal(err)
+			}
+		} else {
+			rep = &load.Report{Schema: load.Schema}
+		}
+		rep.Ramp = rr
+	} else {
+		log.Printf("dbpload: %s %s run, %s warmup + %s measure (workload %s)",
+			*mode, tgt.Name(), *warmup, *measure, opts.WorkloadLabel)
+		rep, err = load.Run(opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	summarize(rep)
+
+	if *out != "" {
+		if err := rep.WriteFile(*out); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("dbpload: wrote %s", *out)
+	}
+
+	if *compare != "" {
+		base, err := load.ReadReport(*compare)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if bad := load.Compare(base, rep, *tol); len(bad) > 0 {
+			for _, b := range bad {
+				log.Printf("dbpload: REGRESSION vs %s: %s", *compare, b)
+			}
+			os.Exit(2)
+		}
+		log.Printf("dbpload: no regression vs %s (tolerance %g%%)", *compare, *tol)
+	}
+}
+
+// summarize prints the human-readable digest of a run.
+func summarize(rep *load.Report) {
+	if m, ok := rep.Phases["measure"]; ok {
+		log.Printf("dbpload: measure: %d ops in %.1fs = %.0f ops/s (requested %.0f)",
+			m.Ops, m.DurationSec, m.Throughput, rep.RequestedRate)
+	}
+	for _, op := range []string{"arrive", "depart"} {
+		o, ok := rep.Ops[op]
+		if !ok || o.Latency.Count == 0 {
+			continue
+		}
+		l := o.Latency
+		log.Printf("dbpload: %-6s n=%-8d p50=%.0fus p90=%.0fus p99=%.0fus p99.9=%.0fus max=%.0fus errors=%v",
+			op, l.Count, l.P50US, l.P90US, l.P99US, l.P999US, l.MaxUS, o.Errors)
+	}
+	if d, ok := rep.Phases["drain"]; ok && (d.Ops > 0 || d.Leaked > 0) {
+		log.Printf("dbpload: drain: %d departs in %.2fs, %d leaked", d.Ops, d.DurationSec, d.Leaked)
+	}
+	if sk := rep.ShardSkew; sk != nil {
+		log.Printf("dbpload: shard skew: %d shards, events min/mean/max = %d/%.0f/%d, imbalance %.3f, cv %.3f",
+			sk.Shards, sk.MinEvents, sk.MeanEvents, sk.MaxEvents, sk.Imbalance, sk.CV)
+	}
+	if srv := rep.Server; srv != nil {
+		for _, op := range []string{"arrive", "depart"} {
+			if l, ok := srv.Latency[op]; ok && l.Count > 0 {
+				log.Printf("dbpload: server-side %-6s p50=%.1fus p99=%.1fus (n=%d)", op, l.P50US, l.P99US, l.Count)
+			}
+		}
+	}
+}

@@ -43,6 +43,13 @@ func main() {
 		dim       = flag.Int("dim", 1, "resource dimensionality")
 		keepAlive = flag.Float64("keepalive", 0, "keep emptied servers open this many time units")
 		grace     = flag.Duration("grace", 10*time.Second, "shutdown grace period for in-flight requests")
+
+		// Connection hygiene: without these a slow (or hostile) client
+		// can hold a connection — and its goroutine — open forever.
+		readTimeout    = flag.Duration("read-timeout", 15*time.Second, "max time to read a full request, headers + body")
+		writeTimeout   = flag.Duration("write-timeout", 30*time.Second, "max time to write a response")
+		idleTimeout    = flag.Duration("idle-timeout", 120*time.Second, "max keep-alive idle time before the connection closes")
+		maxHeaderBytes = flag.Int("max-header-bytes", 1<<20, "max request header size in bytes")
 	)
 	flag.Parse()
 
@@ -65,6 +72,10 @@ func main() {
 		Addr:              *addr,
 		Handler:           mux,
 		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
+		MaxHeaderBytes:    *maxHeaderBytes,
 	}
 
 	errc := make(chan error, 1)

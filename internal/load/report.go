@@ -1,0 +1,258 @@
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"time"
+
+	"dbp/internal/load/hist"
+	"dbp/internal/serve"
+)
+
+// Schema identifies the BENCH_serve.json layout; bump on breaking
+// changes so -compare refuses to diff incompatible files.
+const Schema = "dbp-load/v1"
+
+// ReportConfig echoes the run configuration into the results file.
+type ReportConfig struct {
+	Target     string  `json:"target"`
+	Mode       string  `json:"mode"`
+	Rate       float64 `json:"rate,omitempty"` // requested, open loop only
+	Clients    int     `json:"clients"`
+	ThinkMS    float64 `json:"think_ms,omitempty"`
+	WarmupSec  float64 `json:"warmup_sec"`
+	MeasureSec float64 `json:"measure_sec"`
+	DrainSec   float64 `json:"drain_sec"`
+	Workload   string  `json:"workload"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+}
+
+// PhaseReport is the throughput accounting of one run phase.
+type PhaseReport struct {
+	DurationSec float64 `json:"duration_sec"`
+	Ops         uint64  `json:"ops"`
+	Throughput  float64 `json:"throughput_ops_per_sec"`
+	// Leaked is the number of jobs still active when the drain
+	// deadline hit (drain phase only; nonzero means the service kept
+	// state between runs).
+	Leaked int `json:"leaked,omitempty"`
+}
+
+// OpReport is the measure-phase digest for one op type.
+type OpReport struct {
+	Latency hist.Summary      `json:"latency"`
+	Errors  map[string]uint64 `json:"errors,omitempty"`
+}
+
+// ShardSkew summarizes how evenly the splitmix64 routing spread events
+// over shards, from the service's per-shard counters.
+type ShardSkew struct {
+	Shards     int     `json:"shards"`
+	MinEvents  int     `json:"min_events"`
+	MaxEvents  int     `json:"max_events"`
+	MeanEvents float64 `json:"mean_events"`
+	// Imbalance is max/mean (1.0 = perfectly even); CV is the
+	// coefficient of variation of per-shard event counts.
+	Imbalance float64 `json:"imbalance"`
+	CV        float64 `json:"cv"`
+}
+
+// Report is the BENCH_serve.json document: everything a later PR
+// needs to decide whether it regressed the service.
+type Report struct {
+	Schema string       `json:"schema"`
+	Config ReportConfig `json:"config"`
+
+	Phases map[string]PhaseReport `json:"phases"`
+	// Ops holds measure-phase latency and errors per op type
+	// ("arrive", "depart").
+	Ops map[string]OpReport `json:"ops"`
+
+	// RequestedRate / AchievedRate are measure-phase ops/s; for open
+	// loop, achieved within a few percent of requested means the
+	// service sustained the offered load.
+	RequestedRate float64 `json:"requested_rate,omitempty"`
+	AchievedRate  float64 `json:"achieved_rate"`
+
+	ShardSkew *ShardSkew   `json:"shard_skew,omitempty"`
+	Server    *serve.Stats `json:"server,omitempty"`
+	Ramp      *RampResult  `json:"ramp,omitempty"`
+	Notes     []string     `json:"notes,omitempty"`
+}
+
+// report assembles the Report from per-client results.
+func (r *runner) report(results []*clientResult) *Report {
+	merged := [numOpKinds]*hist.Hist{hist.New(), hist.New()}
+	errs := [numOpKinds]map[string]uint64{{}, {}}
+	var warmOps, measOps, drainOps uint64
+	var leaked int
+	var drainDur time.Duration
+	for _, res := range results {
+		for k := 0; k < int(numOpKinds); k++ {
+			merged[k].Merge(res.meas[k])
+			for code, n := range res.errs[k] {
+				errs[k][code] += n
+			}
+		}
+		warmOps += res.warmOps
+		measOps += res.measOps
+		drainOps += res.drainOps
+		leaked += res.leaked
+		if res.drainDur > drainDur {
+			drainDur = res.drainDur
+		}
+	}
+
+	o := r.o
+	rep := &Report{
+		Schema: Schema,
+		Config: ReportConfig{
+			Target:     o.Target.Name(),
+			Mode:       string(o.Mode),
+			Rate:       o.Rate,
+			Clients:    o.Clients,
+			ThinkMS:    float64(o.Think) / float64(time.Millisecond),
+			WarmupSec:  o.Warmup.Seconds(),
+			MeasureSec: o.Measure.Seconds(),
+			DrainSec:   o.Drain.Seconds(),
+			Workload:   o.WorkloadLabel,
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+		},
+		Phases: map[string]PhaseReport{},
+		Ops:    map[string]OpReport{},
+	}
+	if o.Warmup > 0 {
+		rep.Phases["warmup"] = PhaseReport{
+			DurationSec: o.Warmup.Seconds(),
+			Ops:         warmOps,
+			Throughput:  float64(warmOps) / o.Warmup.Seconds(),
+		}
+	}
+	rep.Phases["measure"] = PhaseReport{
+		DurationSec: o.Measure.Seconds(),
+		Ops:         measOps,
+		Throughput:  float64(measOps) / o.Measure.Seconds(),
+	}
+	rep.Phases["drain"] = PhaseReport{
+		DurationSec: drainDur.Seconds(),
+		Ops:         drainOps,
+		Throughput:  safeDiv(float64(drainOps), drainDur.Seconds()),
+		Leaked:      leaked,
+	}
+	for k := 0; k < int(numOpKinds); k++ {
+		op := OpReport{Latency: merged[k].Summary()}
+		if len(errs[k]) > 0 {
+			op.Errors = errs[k]
+		}
+		rep.Ops[OpKind(k).String()] = op
+	}
+	if o.Mode == ModeOpen {
+		rep.RequestedRate = o.Rate
+	}
+	rep.AchievedRate = float64(measOps) / o.Measure.Seconds()
+	return rep
+}
+
+// skewOf computes shard skew from the service's per-shard counters.
+func skewOf(s serve.Stats) *ShardSkew {
+	if len(s.PerShard) == 0 {
+		return nil
+	}
+	sk := &ShardSkew{Shards: len(s.PerShard), MinEvents: math.MaxInt}
+	var sum, sumSq float64
+	for _, sh := range s.PerShard {
+		if sh.Events < sk.MinEvents {
+			sk.MinEvents = sh.Events
+		}
+		if sh.Events > sk.MaxEvents {
+			sk.MaxEvents = sh.Events
+		}
+		sum += float64(sh.Events)
+		sumSq += float64(sh.Events) * float64(sh.Events)
+	}
+	n := float64(len(s.PerShard))
+	sk.MeanEvents = sum / n
+	if sk.MeanEvents > 0 {
+		sk.Imbalance = float64(sk.MaxEvents) / sk.MeanEvents
+		variance := sumSq/n - sk.MeanEvents*sk.MeanEvents
+		if variance > 0 {
+			sk.CV = math.Sqrt(variance) / sk.MeanEvents
+		}
+	}
+	return sk
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// WriteFile writes the report as indented JSON (struct field order is
+// fixed and map keys are marshaled sorted, so the output is
+// byte-deterministic for identical results).
+func (r *Report) WriteFile(path string) error {
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// ReadReport loads a results file written by WriteFile.
+func ReadReport(path string) (*Report, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(buf, &r); err != nil {
+		return nil, fmt.Errorf("load: %s: %w", path, err)
+	}
+	if r.Schema != Schema {
+		return nil, fmt.Errorf("load: %s: schema %q, want %q", path, r.Schema, Schema)
+	}
+	return &r, nil
+}
+
+// Compare diffs a new report against an old baseline and returns one
+// violation string per regression beyond tolPct percent: per-op-type
+// p99 latency, and measure-phase throughput. Improvements and
+// sub-threshold noise return nil.
+func Compare(old, new *Report, tolPct float64) []string {
+	var bad []string
+	regress := func(oldV, newV float64, higherWorse bool) (float64, bool) {
+		if oldV <= 0 {
+			return 0, false
+		}
+		var pct float64
+		if higherWorse {
+			pct = (newV - oldV) / oldV * 100
+		} else {
+			pct = (oldV - newV) / oldV * 100
+		}
+		return pct, pct > tolPct
+	}
+	for op, o := range old.Ops {
+		n, ok := new.Ops[op]
+		if !ok || n.Latency.Count == 0 {
+			bad = append(bad, fmt.Sprintf("%s: no measurements in new report", op))
+			continue
+		}
+		if pct, r := regress(o.Latency.P99US, n.Latency.P99US, true); r {
+			bad = append(bad, fmt.Sprintf("%s p99 regressed %.1f%%: %.1fus -> %.1fus (tolerance %g%%)",
+				op, pct, o.Latency.P99US, n.Latency.P99US, tolPct))
+		}
+	}
+	oldThr := old.Phases["measure"].Throughput
+	newThr := new.Phases["measure"].Throughput
+	if pct, r := regress(oldThr, newThr, false); r {
+		bad = append(bad, fmt.Sprintf("measure throughput regressed %.1f%%: %.0f -> %.0f ops/s (tolerance %g%%)",
+			pct, oldThr, newThr, tolPct))
+	}
+	return bad
+}

@@ -1,0 +1,140 @@
+package load
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dbp/internal/serve"
+)
+
+// statsWithEvents fabricates per-shard stats with the given event
+// counts.
+func statsWithEvents(events ...int) serve.Stats {
+	s := serve.Stats{Shards: len(events)}
+	for i, n := range events {
+		s.PerShard = append(s.PerShard, serve.ShardStats{Shard: i, Events: n})
+	}
+	return s
+}
+
+// baseReport builds a plausible baseline for Compare tests.
+func baseReport() *Report {
+	r := &Report{
+		Schema: Schema,
+		Phases: map[string]PhaseReport{
+			"measure": {DurationSec: 10, Ops: 50000, Throughput: 5000},
+		},
+		Ops: map[string]OpReport{
+			"arrive": {},
+			"depart": {},
+		},
+	}
+	a := r.Ops["arrive"]
+	a.Latency.Count = 25000
+	a.Latency.P50US = 100
+	a.Latency.P99US = 1000
+	r.Ops["arrive"] = a
+	d := r.Ops["depart"]
+	d.Latency.Count = 25000
+	d.Latency.P50US = 80
+	d.Latency.P99US = 800
+	r.Ops["depart"] = d
+	return r
+}
+
+func TestCompareDetectsP99Regression(t *testing.T) {
+	old, new := baseReport(), baseReport()
+	a := new.Ops["arrive"]
+	a.Latency.P99US = 1500 // injected 50% p99 regression
+	new.Ops["arrive"] = a
+
+	bad := Compare(old, new, 25)
+	if len(bad) != 1 || !strings.Contains(bad[0], "arrive p99 regressed 50.0%") {
+		t.Fatalf("violations = %v, want one arrive p99 regression", bad)
+	}
+	// 50% is inside a 60% tolerance.
+	if bad := Compare(old, new, 60); len(bad) != 0 {
+		t.Fatalf("violations at 60%% tolerance = %v, want none", bad)
+	}
+}
+
+func TestCompareDetectsThroughputRegression(t *testing.T) {
+	old, new := baseReport(), baseReport()
+	m := new.Phases["measure"]
+	m.Throughput = 3000 // -40%
+	new.Phases["measure"] = m
+	bad := Compare(old, new, 25)
+	if len(bad) != 1 || !strings.Contains(bad[0], "throughput regressed 40.0%") {
+		t.Fatalf("violations = %v, want one throughput regression", bad)
+	}
+}
+
+func TestCompareIgnoresImprovementAndNoise(t *testing.T) {
+	old, new := baseReport(), baseReport()
+	a := new.Ops["arrive"]
+	a.Latency.P99US = 500 // 2x faster
+	new.Ops["arrive"] = a
+	d := new.Ops["depart"]
+	d.Latency.P99US = 850 // +6%, under tolerance
+	new.Ops["depart"] = d
+	m := new.Phases["measure"]
+	m.Throughput = 5100
+	new.Phases["measure"] = m
+	if bad := Compare(old, new, 25); len(bad) != 0 {
+		t.Fatalf("violations = %v, want none", bad)
+	}
+}
+
+func TestCompareMissingOp(t *testing.T) {
+	old, new := baseReport(), baseReport()
+	delete(new.Ops, "depart")
+	bad := Compare(old, new, 25)
+	if len(bad) != 1 || !strings.Contains(bad[0], "depart") {
+		t.Fatalf("violations = %v, want missing-depart", bad)
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+	r := baseReport()
+	r.Config.Target = "inproc"
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Config.Target != "inproc" || got.Ops["arrive"].Latency.P99US != 1000 {
+		t.Fatalf("round trip mangled report: %+v", got)
+	}
+
+	// A foreign schema is refused, not misdiffed.
+	r.Schema = "dbp-load/v999"
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadReport(path); err == nil {
+		t.Fatal("schema mismatch not detected")
+	}
+}
+
+// TestSkewOf checks the shard-skew arithmetic on a hand-built Stats.
+func TestSkewOf(t *testing.T) {
+	s := statsWithEvents(100, 200, 300)
+	sk := skewOf(s)
+	if sk.Shards != 3 || sk.MinEvents != 100 || sk.MaxEvents != 300 || sk.MeanEvents != 200 {
+		t.Fatalf("skew = %+v", sk)
+	}
+	if sk.Imbalance != 1.5 {
+		t.Fatalf("imbalance = %g, want 1.5", sk.Imbalance)
+	}
+	if sk.CV <= 0.40 || sk.CV >= 0.41 { // stddev sqrt(20000/3)/200 ≈ 0.408
+		t.Fatalf("cv = %g", sk.CV)
+	}
+	if skewOf(statsWithEvents()) != nil {
+		t.Fatal("empty stats must yield nil skew")
+	}
+}

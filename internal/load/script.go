@@ -1,0 +1,139 @@
+package load
+
+import (
+	"fmt"
+	"sort"
+
+	"dbp/internal/item"
+	"dbp/internal/workload"
+)
+
+// Op is one load-generator operation. Scripts carry the *structure* of
+// a workload — which job arrives or departs next, with what demand —
+// while the pacer decides *when* each op is issued on the wall clock.
+// Replaying a trace's event order at a different speed preserves its
+// concurrency profile (the active-population trajectory), which is
+// what stresses the allocator; the trace's own timestamps are not
+// replayed.
+type Op struct {
+	Kind  OpKind
+	ID    item.ID
+	Size  float64
+	Sizes []float64
+}
+
+// OpKind distinguishes arrivals from departures.
+type OpKind uint8
+
+const (
+	OpArrive OpKind = iota
+	OpDepart
+	numOpKinds
+)
+
+// String names the op kind as it appears in results ("arrive"/"depart").
+func (k OpKind) String() string {
+	if k == OpArrive {
+		return "arrive"
+	}
+	return "depart"
+}
+
+// Script is a self-contained op sequence: every job that arrives in it
+// also departs in it, in trace-event order. maxID bounds the job IDs
+// used, so replays can re-key subsequent epochs without collisions.
+type Script struct {
+	Ops   []Op
+	maxID item.ID
+}
+
+// ScriptFromList flattens an instance into its arrive/depart event
+// sequence, ordered by event time (ties: departures first, matching
+// the half-open [arrival, departure) interval convention, then by ID).
+func ScriptFromList(l item.List) *Script {
+	type ev struct {
+		t      float64
+		depart bool
+		it     item.Item
+	}
+	evs := make([]ev, 0, 2*len(l))
+	var maxID item.ID
+	for _, it := range l {
+		evs = append(evs,
+			ev{t: it.Arrival, it: it},
+			ev{t: it.Departure, depart: true, it: it})
+		if it.ID > maxID {
+			maxID = it.ID
+		}
+	}
+	sort.SliceStable(evs, func(i, j int) bool {
+		if evs[i].t != evs[j].t {
+			return evs[i].t < evs[j].t
+		}
+		if evs[i].depart != evs[j].depart {
+			return evs[i].depart
+		}
+		return evs[i].it.ID < evs[j].it.ID
+	})
+	s := &Script{Ops: make([]Op, len(evs)), maxID: maxID}
+	for i, e := range evs {
+		if e.depart {
+			s.Ops[i] = Op{Kind: OpDepart, ID: e.it.ID}
+		} else {
+			s.Ops[i] = Op{Kind: OpArrive, ID: e.it.ID, Size: e.it.Size, Sizes: e.it.Sizes}
+		}
+	}
+	return s
+}
+
+// Partition splits the script into n per-client scripts by job ID
+// (a job's arrive and depart always land on the same client, in
+// order), preserving the global relative order within each client.
+// Each client then needs no cross-client coordination to keep every
+// depart after its arrive.
+func (s *Script) Partition(n int) []*Script {
+	parts := make([]*Script, n)
+	for i := range parts {
+		parts[i] = &Script{maxID: s.maxID}
+	}
+	for _, op := range s.Ops {
+		c := int(uint64(op.ID) % uint64(n))
+		parts[c].Ops = append(parts[c].Ops, op)
+	}
+	return parts
+}
+
+// WorkloadName selects one of the preset workload shapes.
+type WorkloadName string
+
+const (
+	WorkloadUniform   WorkloadName = "uniform"
+	WorkloadPareto    WorkloadName = "pareto"
+	WorkloadBimodal   WorkloadName = "bimodal"
+	WorkloadSmallItem WorkloadName = "smallitem"
+)
+
+// GenerateScript builds a script from a preset workload: n jobs with
+// duration ratio mu, arrival rate rate (which, together with mean
+// duration, fixes the steady-state active population — the trace's
+// concurrency profile), seeded for reproducibility. dim > 1 draws
+// vector demands.
+func GenerateScript(name WorkloadName, n int, rate, mu float64, seed int64, dim int) (*Script, error) {
+	var cfg workload.Config
+	switch name {
+	case WorkloadUniform, "":
+		cfg = workload.UniformConfig(n, rate, mu, seed)
+	case WorkloadPareto:
+		cfg = workload.ParetoConfig(n, rate, mu, seed)
+	case WorkloadBimodal:
+		cfg = workload.BimodalConfig(n, rate, mu, seed)
+	case WorkloadSmallItem:
+		cfg = workload.SmallItemConfig(n, rate, mu, seed)
+	default:
+		return nil, fmt.Errorf("load: unknown workload %q (want uniform, pareto, bimodal, smallitem)", name)
+	}
+	if dim > 1 {
+		return ScriptFromList(workload.GenerateVec(cfg, dim)), nil
+	}
+	return ScriptFromList(workload.Generate(cfg)), nil
+}

@@ -125,6 +125,7 @@ func New(cfg Config) (*Dispatcher, error) {
 		return nil, fmt.Errorf("serve: negative keep-alive %g", cfg.KeepAlive)
 	}
 	d := &Dispatcher{cfg: cfg, shards: make([]*shard, cfg.Shards), start: time.Now()}
+	d.metrics.init()
 	for i := range d.shards {
 		algo, err := packing.ByName(cfg.Algorithm)
 		if err != nil {
@@ -176,6 +177,7 @@ func (d *Dispatcher) resolveTime(t *float64) (float64, bool) {
 // Arrive dispatches a job to its shard. A nil t means "now" (service
 // clock). On error the returned Placement is zero-valued.
 func (d *Dispatcher) Arrive(id item.ID, size float64, sizes []float64, t *float64) (Placement, error) {
+	defer d.metrics.observeArrive(time.Now())
 	at, assigned := d.resolveTime(t)
 	si := d.ShardFor(id)
 	sh := d.shards[si]
@@ -204,6 +206,7 @@ func (d *Dispatcher) Arrive(id item.ID, size float64, sizes []float64, t *float6
 
 // Depart reports a job departure to its shard. A nil t means "now".
 func (d *Dispatcher) Depart(id item.ID, t *float64) (Departure, error) {
+	defer d.metrics.observeDepart(time.Now())
 	at, assigned := d.resolveTime(t)
 	si := d.ShardFor(id)
 	sh := d.shards[si]

@@ -37,9 +37,12 @@ type ErrorResponse struct {
 // so anything larger is malformed or hostile.
 const maxBodyBytes = 1 << 20
 
-// statusOf maps a dispatcher error onto its HTTP status and stable
-// error code. Unknown errors are internal (500).
-func statusOf(err error) (int, string) {
+// StatusOf maps a dispatcher error onto its HTTP status and stable
+// machine-readable error code. Unknown errors are internal (500). It
+// is exported so out-of-process callers of the Go API — the load
+// driver in internal/load above all — classify rejections by the same
+// codes the HTTP layer puts on the wire.
+func StatusOf(err error) (int, string) {
 	switch {
 	case errors.Is(err, packing.ErrDuplicateJob):
 		return http.StatusConflict, "duplicate_job" // 409
@@ -126,7 +129,7 @@ func decode(w http.ResponseWriter, r *http.Request, into any) bool {
 }
 
 func writeError(w http.ResponseWriter, err error) {
-	status, code := statusOf(err)
+	status, code := StatusOf(err)
 	writeJSON(w, status, ErrorResponse{Code: code, Error: err.Error()})
 }
 
