@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test quick race vet fmt check serve bench-ledger bench-fleet figures loadtest loadtest-short loadtest-ramp
+.PHONY: build test quick race vet fmt check serve equivalence bench-ledger bench-ledger-check bench-fleet figures loadtest loadtest-short loadtest-ramp
 
 build:
 	$(GO) build ./...
@@ -45,9 +45,22 @@ loadtest-short:
 loadtest-ramp:
 	$(GO) run ./cmd/dbpload -target http -addr localhost:8080 -ramp -slo-p99 5ms -o BENCH_serve.json
 
-## bench-ledger: regenerate BENCH_ledger.json (per-event ledger cost vs fleet size)
+## equivalence: the cross-engine oracle (indexed vs linear, every policy,
+## Run and Stream paths) under the race detector
+equivalence:
+	$(GO) test -race -count=1 -run Equivalent ./internal/packing/
+
+## bench-ledger: regenerate BENCH_ledger.json (per-event engine cost vs
+## fleet size, per policy, indexed and linear)
 bench-ledger:
 	$(GO) run ./cmd/dbpbench -o BENCH_ledger.json
+
+## bench-ledger-check: one-rep regeneration diffed against the committed
+## baseline; exits 2 on a ns/event or scaling-ratio regression. The wide
+## tolerance absorbs machine differences while still catching a
+## complexity-class slip (an O(B) path shows up as ~900% at 10x size).
+bench-ledger-check:
+	$(GO) run ./cmd/dbpbench -reps 1 -o BENCH_ledger.new.json -compare BENCH_ledger.json -tolerance 300
 
 ## bench-fleet: run the large-fleet Go benchmarks once each
 bench-fleet:

@@ -150,27 +150,21 @@ func BenchmarkSimulateKeepAlive1k(b *testing.B) {
 	}
 }
 
-// BenchmarkFirstFitEngines compares the naive O(B)-scan First Fit with
-// the segment-tree engine on a large instance (identical packings,
-// asserted by tests).
+// BenchmarkFirstFitEngines compares the linear O(B)-scan reference
+// engine with the indexed (BinIndex) engine on a large instance
+// (identical packings, asserted by the equivalence suite).
 func BenchmarkFirstFitEngines(b *testing.B) {
 	jobs := GenerateUniform(20000, 64, 64, 1) // heavy fleet: hundreds of concurrently open bins
-	b.Run("naive", func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			if _, err := Run(FirstFit(), jobs); err != nil {
-				b.Fatal(err)
+	for _, kind := range []packing.EngineKind{packing.EngineLinear, packing.EngineIndexed} {
+		b.Run(string(kind), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := packing.Run(FirstFit(), jobs, &packing.Options{Engine: kind}); err != nil {
+					b.Fatal(err)
+				}
 			}
-		}
-	})
-	b.Run("segment-tree", func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			if _, err := Run(packing.NewFastFirstFit(), jobs); err != nil {
-				b.Fatal(err)
-			}
-		}
-	})
+		})
+	}
 }
 
 // Large-fleet scenarios: the arrival rate scales with n, so the number of
@@ -178,7 +172,7 @@ func BenchmarkFirstFitEngines(b *testing.B) {
 // regime where any O(B) per-event ledger cost turns the whole run
 // quadratic (the paper's adversarial constructions and real VM-placement
 // traces both live here). Quick mode (-short) shrinks each run 10x.
-func benchLargeFleet(b *testing.B, mkAlgo func() Algorithm, n int, keepAlive float64) {
+func benchLargeFleet(b *testing.B, mkAlgo func() Algorithm, kind packing.EngineKind, n int, keepAlive float64) {
 	b.Helper()
 	if testing.Short() {
 		n /= 10
@@ -187,39 +181,46 @@ func benchLargeFleet(b *testing.B, mkAlgo func() Algorithm, n int, keepAlive flo
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := packing.Run(mkAlgo(), jobs, &packing.Options{KeepAlive: keepAlive}); err != nil {
+		opt := &packing.Options{KeepAlive: keepAlive, Engine: kind}
+		if _, err := packing.Run(mkAlgo(), jobs, opt); err != nil {
 			b.Fatal(err)
 		}
 	}
 	b.ReportMetric(float64(2*n), "events/op")
 }
 
-func fastFF() Algorithm { return packing.NewFastFirstFit() }
-
-func BenchmarkLargeFleetFirstFit100k(b *testing.B) { benchLargeFleet(b, FirstFit, 100_000, 0) }
-func BenchmarkLargeFleetFastFF100k(b *testing.B)   { benchLargeFleet(b, fastFF, 100_000, 0) }
-func BenchmarkLargeFleetFirstFitKeepAlive100k(b *testing.B) {
-	benchLargeFleet(b, FirstFit, 100_000, 0.5)
+func BenchmarkLargeFleetFirstFitLinear100k(b *testing.B) {
+	benchLargeFleet(b, FirstFit, packing.EngineLinear, 100_000, 0)
 }
-func BenchmarkLargeFleetFastFFKeepAlive100k(b *testing.B) {
-	benchLargeFleet(b, fastFF, 100_000, 0.5)
+func BenchmarkLargeFleetFirstFitIndexed100k(b *testing.B) {
+	benchLargeFleet(b, FirstFit, packing.EngineIndexed, 100_000, 0)
 }
-func BenchmarkLargeFleetFastFFKeepAlive1M(b *testing.B) {
-	benchLargeFleet(b, fastFF, 1_000_000, 0.5)
+func BenchmarkLargeFleetFirstFitLinearKeepAlive100k(b *testing.B) {
+	benchLargeFleet(b, FirstFit, packing.EngineLinear, 100_000, 0.5)
+}
+func BenchmarkLargeFleetFirstFitIndexedKeepAlive100k(b *testing.B) {
+	benchLargeFleet(b, FirstFit, packing.EngineIndexed, 100_000, 0.5)
+}
+func BenchmarkLargeFleetFirstFitIndexedKeepAlive1M(b *testing.B) {
+	benchLargeFleet(b, FirstFit, packing.EngineIndexed, 1_000_000, 0.5)
 }
 
 // The scaling shape behind the BENCH_ledger.json criterion: ns/event of a
-// 100k-job keep-alive run must stay within ~2x of the 10k-job run for the
-// segment-tree engine (cmd/dbpbench emits the machine-readable version).
+// 100k-job keep-alive run must stay within ~2.5x of the 10k-job run for
+// the indexed engine under firstfit, bestfit, and worstfit (cmd/dbpbench
+// emits the machine-readable version).
 func BenchmarkLargeFleetKeepAliveScaling(b *testing.B) {
-	for _, engine := range []struct {
+	policies := []struct {
 		name string
 		mk   func() Algorithm
-	}{{"firstfit", FirstFit}, {"fastff", fastFF}} {
-		for _, n := range []int{10_000, 100_000} {
-			b.Run(fmt.Sprintf("%s/n=%d", engine.name, n), func(b *testing.B) {
-				benchLargeFleet(b, engine.mk, n, 0.5)
-			})
+	}{{"firstfit", FirstFit}, {"bestfit", BestFit}, {"worstfit", WorstFit}}
+	for _, p := range policies {
+		for _, kind := range []packing.EngineKind{packing.EngineLinear, packing.EngineIndexed} {
+			for _, n := range []int{10_000, 100_000} {
+				b.Run(fmt.Sprintf("%s/%s/n=%d", p.name, kind, n), func(b *testing.B) {
+					benchLargeFleet(b, p.mk, kind, n, 0.5)
+				})
+			}
 		}
 	}
 }

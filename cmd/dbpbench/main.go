@@ -1,19 +1,28 @@
-// Command dbpbench measures the per-event cost of the simulator's ledger
-// hot paths on large fleets and writes a machine-readable BENCH_ledger.json
-// so future PRs can track the performance trajectory.
+// Command dbpbench measures the per-event cost of the placement engine
+// on large fleets and writes a machine-readable BENCH_ledger.json so
+// future PRs can track the performance trajectory.
 //
 // The workload scales its arrival rate with the job count, so the number
 // of concurrently open servers B grows linearly with n. An engine whose
 // per-event cost is O(log B) shows a near-flat ns/event column as n grows
 // 10x; any O(B)-per-event path shows roughly 10x growth instead. The
 // emitted "ns_per_event_scaling" map records exactly that ratio per
-// engine and keep-alive setting — the repo's acceptance criterion is that
-// the segment-tree engine's keep-alive ratio stays within ~2x.
+// (policy, engine, keep-alive) setting — the repo's acceptance criterion
+// is that the indexed engine's keep-alive ratios stay within ~2.5x for
+// firstfit, bestfit, and worstfit, while the linear reference engine is
+// expected to track the size ratio itself.
+//
+// With -compare, the fresh report is diffed against a baseline written
+// by an earlier run: any matching (policy, engine, jobs, keep-alive)
+// configuration whose ns/event regressed beyond -tolerance percent is a
+// violation, and the process exits 2 (same contract as dbpload -compare).
 //
 // Examples:
 //
 //	dbpbench
-//	dbpbench -sizes 10000,100000,1000000 -keepalive 0.5 -reps 5 -o BENCH_ledger.json
+//	dbpbench -policies firstfit,bestfit,worstfit -engines indexed,linear
+//	dbpbench -sizes 10000,100000 -keepalive 0.5 -reps 5 -o BENCH_ledger.json
+//	dbpbench -compare BENCH_ledger.json -tolerance 25
 package main
 
 import (
@@ -30,9 +39,15 @@ import (
 	"dbp/internal/packing"
 )
 
-// runRecord is one (engine, jobs, keep-alive) measurement: the minimum
-// wall time over the configured repetitions, normalized per event.
+// schemaVersion identifies the report layout. Version 2 added the
+// per-run "policy" field and the policy/engine scaling keys.
+const schemaVersion = 2
+
+// runRecord is one (policy, engine, jobs, keep-alive) measurement: the
+// minimum wall time over the configured repetitions, normalized per
+// event.
 type runRecord struct {
+	Policy     string  `json:"policy"`
 	Engine     string  `json:"engine"`
 	Jobs       int     `json:"jobs"`
 	KeepAlive  float64 `json:"keep_alive"`
@@ -43,15 +58,21 @@ type runRecord struct {
 	NsPerEvent float64 `json:"ns_per_event"`
 }
 
+// key identifies the configuration of a run for baseline comparison.
+func (r runRecord) key() string {
+	return fmt.Sprintf("%s/%s/n=%d/ka=%g", r.Policy, r.Engine, r.Jobs, r.KeepAlive)
+}
+
 type report struct {
+	Schema      int         `json:"schema"`
 	GeneratedBy string      `json:"generated_by"`
 	Mu          float64     `json:"mu"`
 	Seed        int64       `json:"seed"`
 	Reps        int         `json:"reps"`
 	Runs        []runRecord `json:"runs"`
-	// Scaling maps "engine/ka=<v>" to ns/event at the largest job count
-	// divided by ns/event at the smallest. O(log B) engines stay near 1;
-	// O(B)-per-event paths track the size ratio itself.
+	// Scaling maps "policy/engine/ka=<v>" to ns/event at the largest job
+	// count divided by ns/event at the smallest. O(log B) engines stay
+	// near 1; O(B)-per-event paths track the size ratio itself.
 	Scaling map[string]float64 `json:"ns_per_event_scaling"`
 }
 
@@ -65,8 +86,11 @@ func main() {
 		mu        = flag.Float64("mu", 8, "duration ratio bound of the generated workload")
 		seed      = flag.Int64("seed", 1, "workload seed")
 		reps      = flag.Int("reps", 3, "repetitions per configuration (minimum wall time is reported)")
-		engines   = flag.String("engines", "firstfit,fastff", "engines to measure: firstfit (naive scan), fastff (segment tree)")
+		policies  = flag.String("policies", "firstfit,bestfit,worstfit", "comma-separated policies to measure (see dbpexp -list for names)")
+		engines   = flag.String("engines", "indexed,linear", "engines to measure: indexed (BinIndex queries), linear (O(B) reference scans)")
 		out       = flag.String("o", "BENCH_ledger.json", "output path for the JSON report ('-' for stdout)")
+		compare   = flag.String("compare", "", "baseline report; exit 2 if any matching run's ns/event regresses past -tolerance")
+		tol       = flag.Float64("tolerance", 25, "allowed ns/event regression percent for -compare")
 	)
 	flag.Parse()
 
@@ -76,29 +100,34 @@ func main() {
 	}
 
 	rep := report{
+		Schema:      schemaVersion,
 		GeneratedBy: "cmd/dbpbench",
 		Mu:          *mu,
 		Seed:        *seed,
 		Reps:        *reps,
 		Scaling:     map[string]float64{},
 	}
-	for _, engine := range strings.Split(*engines, ",") {
-		engine = strings.TrimSpace(engine)
-		for _, ka := range []float64{0, *keepAlive} {
-			var recs []runRecord
-			for _, n := range sizes {
-				r, err := measure(engine, n, ka, *mu, *seed, *reps)
-				if err != nil {
-					log.Fatal(err)
+	for _, policy := range splitList(*policies) {
+		if _, err := dbp.AlgorithmByName(policy); err != nil {
+			log.Fatal(err)
+		}
+		for _, engine := range splitList(*engines) {
+			for _, ka := range []float64{0, *keepAlive} {
+				var recs []runRecord
+				for _, n := range sizes {
+					r, err := measure(policy, engine, n, ka, *mu, *seed, *reps)
+					if err != nil {
+						log.Fatal(err)
+					}
+					fmt.Fprintf(os.Stderr, "%-9s %-8s n=%-8d ka=%-4g %8.1f ns/event  (%d bins, peak %d)\n",
+						policy, engine, n, ka, r.NsPerEvent, r.BinsOpened, r.PeakOpen)
+					recs = append(recs, r)
 				}
-				fmt.Fprintf(os.Stderr, "%-9s n=%-8d ka=%-4g %8.1f ns/event  (%d bins, peak %d)\n",
-					engine, n, ka, r.NsPerEvent, r.BinsOpened, r.PeakOpen)
-				recs = append(recs, r)
-			}
-			rep.Runs = append(rep.Runs, recs...)
-			if len(recs) > 1 {
-				rep.Scaling[fmt.Sprintf("%s/ka=%g", engine, ka)] =
-					recs[len(recs)-1].NsPerEvent / recs[0].NsPerEvent
+				rep.Runs = append(rep.Runs, recs...)
+				if len(recs) > 1 {
+					rep.Scaling[fmt.Sprintf("%s/%s/ka=%g", policy, engine, ka)] =
+						recs[len(recs)-1].NsPerEvent / recs[0].NsPerEvent
+				}
 			}
 		}
 	}
@@ -110,26 +139,40 @@ func main() {
 	enc = append(enc, '\n')
 	if *out == "-" {
 		os.Stdout.Write(enc)
-		return
-	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+	} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
 		log.Fatal(err)
+	} else {
+		log.Printf("wrote %s (%d runs)", *out, len(rep.Runs))
 	}
-	log.Printf("wrote %s (%d runs)", *out, len(rep.Runs))
+
+	if *compare != "" {
+		base, err := readReport(*compare)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if bad := compareReports(base, &rep, *tol); len(bad) > 0 {
+			for _, b := range bad {
+				log.Printf("REGRESSION vs %s: %s", *compare, b)
+			}
+			os.Exit(2)
+		}
+		log.Printf("no regression vs %s (tolerance %g%%)", *compare, *tol)
+	}
 }
 
 // measure runs one configuration reps times and keeps the fastest run
 // (minimum wall time filters scheduler noise, the usual benchmark rule).
-func measure(engine string, n int, keepAlive, mu float64, seed int64, reps int) (runRecord, error) {
+func measure(policy, engine string, n int, keepAlive, mu float64, seed int64, reps int) (runRecord, error) {
 	jobs := dbp.GenerateUniform(n, float64(n)/100, mu, seed)
-	rec := runRecord{Engine: engine, Jobs: n, KeepAlive: keepAlive, Events: 2 * n}
+	rec := runRecord{Policy: policy, Engine: engine, Jobs: n, KeepAlive: keepAlive, Events: 2 * n}
 	for i := 0; i < reps; i++ {
-		algo, err := newEngine(engine)
+		algo, err := dbp.AlgorithmByName(policy)
 		if err != nil {
 			return rec, err
 		}
+		opt := &packing.Options{KeepAlive: keepAlive, Engine: packing.EngineKind(engine)}
 		start := time.Now()
-		res, err := packing.Run(algo, jobs, &packing.Options{KeepAlive: keepAlive})
+		res, err := packing.Run(algo, jobs, opt)
 		elapsed := time.Since(start).Nanoseconds()
 		if err != nil {
 			return rec, err
@@ -144,15 +187,74 @@ func measure(engine string, n int, keepAlive, mu float64, seed int64, reps int) 
 	return rec, nil
 }
 
-func newEngine(name string) (dbp.Algorithm, error) {
-	switch name {
-	case "firstfit":
-		return dbp.FirstFit(), nil
-	case "fastff":
-		return packing.NewFastFirstFit(), nil
-	default:
-		return nil, fmt.Errorf("unknown engine %q (valid: firstfit, fastff)", name)
+// readReport loads a baseline written by an earlier dbpbench run.
+func readReport(path string) (*report, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
 	}
+	var r report
+	if err := json.Unmarshal(buf, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Schema != schemaVersion {
+		return nil, fmt.Errorf("%s: schema %d, want %d", path, r.Schema, schemaVersion)
+	}
+	return &r, nil
+}
+
+// compareReports diffs the fresh report against a baseline and returns
+// one violation string per regression beyond tolPct percent: ns/event of
+// every matching (policy, engine, jobs, keep-alive) run, and every
+// matching scaling ratio. A baseline configuration missing from the new
+// report is itself a violation. Improvements and sub-threshold noise
+// return nil.
+func compareReports(old, new *report, tolPct float64) []string {
+	var bad []string
+	regress := func(oldV, newV float64) (float64, bool) {
+		if oldV <= 0 {
+			return 0, false
+		}
+		pct := (newV - oldV) / oldV * 100
+		return pct, pct > tolPct
+	}
+	fresh := make(map[string]runRecord, len(new.Runs))
+	for _, r := range new.Runs {
+		fresh[r.key()] = r
+	}
+	for _, o := range old.Runs {
+		n, ok := fresh[o.key()]
+		if !ok {
+			bad = append(bad, fmt.Sprintf("%s: no measurement in new report", o.key()))
+			continue
+		}
+		if pct, r := regress(o.NsPerEvent, n.NsPerEvent); r {
+			bad = append(bad, fmt.Sprintf("%s ns/event regressed %.1f%%: %.1f -> %.1f (tolerance %g%%)",
+				o.key(), pct, o.NsPerEvent, n.NsPerEvent, tolPct))
+		}
+	}
+	for key, o := range old.Scaling {
+		n, ok := new.Scaling[key]
+		if !ok {
+			bad = append(bad, fmt.Sprintf("scaling %s: no ratio in new report", key))
+			continue
+		}
+		if pct, r := regress(o, n); r {
+			bad = append(bad, fmt.Sprintf("scaling %s regressed %.1f%%: %.2fx -> %.2fx (tolerance %g%%)",
+				key, pct, o, n, tolPct))
+		}
+	}
+	return bad
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
 }
 
 func parseSizes(s string) ([]int, error) {

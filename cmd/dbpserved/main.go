@@ -53,6 +53,12 @@ func main() {
 	)
 	flag.Parse()
 
+	// Fail fast on a bad policy name before any listener or shard comes
+	// up; the error lists every valid name.
+	if _, err := packing.ByName(*algo); err != nil {
+		log.Fatalf("invalid -algo: %v", err)
+	}
+
 	d, err := serve.New(serve.Config{
 		Algorithm: *algo,
 		Shards:    *shards,

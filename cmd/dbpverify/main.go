@@ -3,8 +3,8 @@
 // (Result.Verify), the Section IV usage-period identities, the Section V
 // subperiod propositions (First Fit runs), the supplier-period census,
 // Theorem 1's bound against a certified OPT bracket, and the
-// cross-engine consistency of the two First Fit implementations. It is
-// the "trust but verify" tool for traces produced elsewhere.
+// cross-engine consistency of the indexed and linear placement engines.
+// It is the "trust but verify" tool for traces produced elsewhere.
 //
 // Examples:
 //
@@ -85,9 +85,15 @@ func main() {
 		groups := analysis.BuildLGroups(sps, analysis.DefaultSupplierParams())
 		census := analysis.CheckSupplierDisjointness(groups)
 		fmt.Printf("info  supplier census: %s\n", census.String())
+	}
 
-		fast := packing.MustRun(packing.NewFastFirstFit(), jobs, nil)
-		check("segment-tree engine consistency", sameResult(res, fast))
+	// res ran on the default indexed engine; the linear reference engine
+	// must produce the identical packing for every policy.
+	lin, lerr := packing.Run(algo, jobs, &packing.Options{Engine: packing.EngineLinear})
+	if lerr != nil {
+		check("indexed/linear engine consistency", lerr)
+	} else {
+		check("indexed/linear engine consistency", sameResult(res, lin))
 	}
 
 	b := opt.TotalParallel(jobs, 0, 0, 0)

@@ -1,0 +1,103 @@
+package bins
+
+import "math"
+
+// gapTree is a segment tree over bins in opening order (by Index) storing
+// the maximum gap in each range. It answers the positional Any Fit
+// queries — "lowest-/highest-indexed open bin with gap >= s" and
+// "lowest-indexed bin attaining the maximum gap" — in O(log B) each.
+// Closed bins are tombstoned with -Inf so they can never win a query.
+//
+// It generalizes the structure that used to live inside the FastFirstFit
+// policy; the Index now maintains it ledger-side for every policy.
+type gapTree struct {
+	n    int       // number of bins ever added (leaves in use)
+	node []float64 // segment tree over cached gaps (max)
+	size int       // power-of-two leaf count
+}
+
+// add appends leaf i (bins open in index order) with gap -Inf; the caller
+// follows up with update.
+func (t *gapTree) add(i int) {
+	if i != t.n {
+		panic("bins: gap tree observed out-of-order bin open")
+	}
+	t.n++
+	if t.n > t.size {
+		t.grow()
+	}
+}
+
+// grow doubles the leaf capacity, preserving existing leaf values.
+func (t *gapTree) grow() {
+	size := 1
+	for size < t.n {
+		size *= 2
+	}
+	old := t.node
+	oldSize := t.size
+	t.size = size
+	t.node = make([]float64, 2*size)
+	for i := range t.node {
+		t.node[i] = math.Inf(-1)
+	}
+	for i := 0; i < oldSize && i < t.n; i++ {
+		t.node[size+i] = old[oldSize+i]
+	}
+	for i := size - 1; i >= 1; i-- {
+		t.node[i] = math.Max(t.node[2*i], t.node[2*i+1])
+	}
+}
+
+// update sets leaf i's gap (use -Inf to tombstone a closed bin).
+func (t *gapTree) update(i int, gap float64) {
+	p := t.size + i
+	t.node[p] = gap
+	for p >>= 1; p >= 1; p >>= 1 {
+		t.node[p] = math.Max(t.node[2*p], t.node[2*p+1])
+	}
+}
+
+// gap returns leaf i's current value.
+func (t *gapTree) gap(i int) float64 { return t.node[t.size+i] }
+
+// firstAtLeast returns the smallest index whose gap >= s, or -1.
+func (t *gapTree) firstAtLeast(s float64) int {
+	if t.size == 0 || t.node[1] < s {
+		return -1
+	}
+	p := 1
+	for p < t.size {
+		if t.node[2*p] >= s {
+			p = 2 * p
+		} else {
+			p = 2*p + 1
+		}
+	}
+	idx := p - t.size
+	if idx >= t.n {
+		return -1
+	}
+	return idx
+}
+
+// lastAtLeast returns the largest index whose gap >= s, or -1. The
+// right-first descent mirrors firstAtLeast.
+func (t *gapTree) lastAtLeast(s float64) int {
+	if t.size == 0 || t.node[1] < s {
+		return -1
+	}
+	p := 1
+	for p < t.size {
+		if t.node[2*p+1] >= s {
+			p = 2*p + 1
+		} else {
+			p = 2 * p
+		}
+	}
+	idx := p - t.size
+	if idx >= t.n {
+		return -1
+	}
+	return idx
+}

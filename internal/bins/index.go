@@ -1,0 +1,148 @@
+package bins
+
+import (
+	"fmt"
+	"math"
+)
+
+// Index is the ledger-maintained policy index over the open bins: a
+// max-gap segment tree in opening order (positional queries — First Fit,
+// Last Fit) and a (gap, index)-ordered treap (level queries — Best Fit,
+// Worst Fit, Almost Worst Fit). The owning Ledger keeps it coherent on
+// every OpenNew/PlaceIn/Remove/CloseExpired, so every query below is
+// O(log B) against the live fleet with no per-policy bookkeeping.
+//
+// Gaps are scalar (first dimension); the queries are meaningful for 1-D
+// demands only, which is why vector placements stay on the linear path
+// (see internal/packing). All comparisons are exact — no epsilon — so
+// query answers are order-independent and reproducible; callers fold
+// their tolerance into `need` (conventionally size - Eps).
+type Index struct {
+	bins []*Bin // by Index; closed bins stay (tombstoned)
+	tree gapTree
+	lvls levelTree
+}
+
+// observeOpen tracks a freshly opened bin (called by the ledger after the
+// first item is placed).
+func (ix *Index) observeOpen(b *Bin) {
+	if b.Index != len(ix.bins) {
+		panic(fmt.Sprintf("bins: index saw bin %d open out of order", b.Index))
+	}
+	ix.bins = append(ix.bins, b)
+	ix.tree.add(b.Index)
+	ix.tree.update(b.Index, b.Gap())
+	ix.lvls.insert(b.Gap(), b.Index)
+}
+
+// refresh re-reads an open bin's gap after a level change.
+func (ix *Index) refresh(b *Bin) {
+	old := ix.tree.gap(b.Index)
+	g := b.Gap()
+	if g == old {
+		return
+	}
+	ix.tree.update(b.Index, g)
+	ix.lvls.delete(old, b.Index)
+	ix.lvls.insert(g, b.Index)
+}
+
+// remove untracks a bin that closed.
+func (ix *Index) remove(b *Bin) {
+	old := ix.tree.gap(b.Index)
+	ix.tree.update(b.Index, math.Inf(-1))
+	ix.lvls.delete(old, b.Index)
+}
+
+// FirstFitting returns the earliest-opened bin with gap >= need, or nil
+// (the First Fit query).
+func (ix *Index) FirstFitting(need float64) *Bin {
+	i := ix.tree.firstAtLeast(need)
+	if i < 0 {
+		return nil
+	}
+	return ix.bins[i]
+}
+
+// LastFitting returns the latest-opened bin with gap >= need, or nil
+// (the Last Fit query).
+func (ix *Index) LastFitting(need float64) *Bin {
+	i := ix.tree.lastAtLeast(need)
+	if i < 0 {
+		return nil
+	}
+	return ix.bins[i]
+}
+
+// TightestFitting returns the bin with the smallest gap >= need, ties
+// toward the earliest opened, or nil (the Best Fit query).
+func (ix *Index) TightestFitting(need float64) *Bin {
+	n := ix.lvls.ceil(need, 0)
+	if n == nil {
+		return nil
+	}
+	return ix.bins[n.idx]
+}
+
+// EmptiestFitting returns the bin with the largest gap, ties toward the
+// earliest opened, or nil if even that gap is below need (the Worst Fit
+// query).
+func (ix *Index) EmptiestFitting(need float64) *Bin {
+	m := ix.lvls.max()
+	if m == nil || m.gap < need {
+		return nil
+	}
+	// Lowest index within the maximal-gap group.
+	n := ix.lvls.ceil(m.gap, 0)
+	return ix.bins[n.idx]
+}
+
+// SecondEmptiestFitting returns the runner-up of EmptiestFitting under
+// the (descending gap, ascending index) order, restricted to gaps >=
+// need, or nil when fewer than two bins qualify (the Almost Worst Fit
+// query).
+func (ix *Index) SecondEmptiestFitting(need float64) *Bin {
+	first := ix.EmptiestFitting(need)
+	if first == nil {
+		return nil
+	}
+	g := ix.tree.gap(first.Index)
+	// Next bin in the same gap group, if any.
+	if n := ix.lvls.ceil(g, first.Index+1); n != nil && n.gap == g {
+		return ix.bins[n.idx]
+	}
+	// Otherwise the head of the next-lower gap group, if it still fits.
+	p := ix.lvls.floorBelowGap(g)
+	if p == nil || p.gap < need {
+		return nil
+	}
+	return ix.bins[ix.lvls.ceil(p.gap, 0).idx]
+}
+
+// checkCoherent verifies the index against the ledger's open list; the
+// ledger's CheckInvariants calls it when the index is enabled.
+func (ix *Index) checkCoherent(open []*Bin) error {
+	inOpen := make(map[int]bool, len(open))
+	for _, b := range open {
+		inOpen[b.Index] = true
+		if b.Index >= len(ix.bins) || ix.bins[b.Index] != b {
+			return fmt.Errorf("index does not track open bin %d", b.Index)
+		}
+		if g := ix.tree.gap(b.Index); g != b.Gap() {
+			return fmt.Errorf("index gap for bin %d is %g, want %g", b.Index, g, b.Gap())
+		}
+		if !ix.lvls.contains(b.Gap(), b.Index) {
+			return fmt.Errorf("level tree missing open bin %d (gap %g)", b.Index, b.Gap())
+		}
+	}
+	for i, b := range ix.bins {
+		if !inOpen[i] && !math.IsInf(ix.tree.gap(i), -1) {
+			return fmt.Errorf("closed bin %d not tombstoned in gap tree (gap %g)", i, ix.tree.gap(i))
+		}
+		_ = b
+	}
+	if n := ix.lvls.count(); n != len(open) {
+		return fmt.Errorf("level tree holds %d keys, want %d open bins", n, len(open))
+	}
+	return nil
+}

@@ -1,0 +1,189 @@
+package bins
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dbp/internal/item"
+)
+
+// linearFirst/linearLast/linearTightest/linearEmptiest/linearSecond are
+// the O(B) reference semantics the index must reproduce exactly.
+func linearFirst(open []*Bin, need float64) *Bin {
+	for _, b := range open {
+		if b.Gap() >= need {
+			return b
+		}
+	}
+	return nil
+}
+
+func linearLast(open []*Bin, need float64) *Bin {
+	for i := len(open) - 1; i >= 0; i-- {
+		if open[i].Gap() >= need {
+			return open[i]
+		}
+	}
+	return nil
+}
+
+func linearTightest(open []*Bin, need float64) *Bin {
+	var best *Bin
+	for _, b := range open {
+		if b.Gap() < need {
+			continue
+		}
+		if best == nil || b.Gap() < best.Gap() {
+			best = b
+		}
+	}
+	return best
+}
+
+func linearEmptiest(open []*Bin, need float64) *Bin {
+	var best *Bin
+	for _, b := range open {
+		if b.Gap() < need {
+			continue
+		}
+		if best == nil || b.Gap() > best.Gap() {
+			best = b
+		}
+	}
+	return best
+}
+
+func linearSecond(open []*Bin, need float64) *Bin {
+	var first, second *Bin
+	for _, b := range open {
+		if b.Gap() < need {
+			continue
+		}
+		switch {
+		case first == nil:
+			first = b
+		case b.Gap() > first.Gap():
+			second = first
+			first = b
+		case second == nil || b.Gap() > second.Gap():
+			second = b
+		}
+	}
+	return second
+}
+
+func checkQueries(t *testing.T, g *Ledger, need float64) {
+	t.Helper()
+	ix := g.Index()
+	open := g.OpenBins()
+	type q struct {
+		name     string
+		got, ref *Bin
+	}
+	for _, c := range []q{
+		{"FirstFitting", ix.FirstFitting(need), linearFirst(open, need)},
+		{"LastFitting", ix.LastFitting(need), linearLast(open, need)},
+		{"TightestFitting", ix.TightestFitting(need), linearTightest(open, need)},
+		{"EmptiestFitting", ix.EmptiestFitting(need), linearEmptiest(open, need)},
+		{"SecondEmptiestFitting", ix.SecondEmptiestFitting(need), linearSecond(open, need)},
+	} {
+		if c.got != c.ref {
+			t.Fatalf("%s(%g): index %v, linear %v (open %v)", c.name, need, binIdx(c.got), binIdx(c.ref), open)
+		}
+	}
+}
+
+func binIdx(b *Bin) int {
+	if b == nil {
+		return -1
+	}
+	return b.Index
+}
+
+// TestIndexMatchesLinearScans drives a ledger through a random arrive/
+// depart mix (with and without keep-alive) and checks after every event
+// that each indexed query agrees with its linear reference and that the
+// index is structurally coherent.
+func TestIndexMatchesLinearScans(t *testing.T) {
+	for _, keepAlive := range []float64{0, 1.5} {
+		rng := rand.New(rand.NewSource(7))
+		g := NewLedgerKeepAlive(1, 1, keepAlive)
+		g.EnableIndex()
+		var live []item.Item
+		now := 0.0
+		nextID := item.ID(1)
+		for step := 0; step < 3000; step++ {
+			now += rng.Float64() * 0.2
+			g.CloseExpired(now)
+			if len(live) > 0 && rng.Intn(3) == 0 {
+				i := rng.Intn(len(live))
+				g.Remove(live[i].ID, now)
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+			} else {
+				size := 0.05 + 0.9*rng.Float64()
+				it := item.Item{ID: nextID, Size: size, Arrival: now, Departure: math.Inf(1)}
+				nextID++
+				need := size - Eps
+				if b := g.Index().FirstFitting(need); b != nil {
+					g.PlaceIn(b, it, now)
+				} else {
+					g.OpenNew(it, now)
+				}
+				live = append(live, it)
+			}
+			if err := g.CheckInvariants(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+			checkQueries(t, g, rng.Float64())
+		}
+	}
+}
+
+// TestIndexQueriesHandExample pins the query semantics on a small fixed
+// fleet: gaps 0.5, 0.2, 0.5, 0.8 for bins 0..3.
+func TestIndexQueriesHandExample(t *testing.T) {
+	g := NewLedger(1, 1)
+	g.EnableIndex()
+	for i, size := range []float64{0.5, 0.8, 0.5, 0.2} {
+		g.OpenNew(item.Item{ID: item.ID(i + 1), Size: size, Arrival: 0, Departure: math.Inf(1)}, 0)
+	}
+	ix := g.Index()
+	cases := []struct {
+		name string
+		got  *Bin
+		want int
+	}{
+		{"FirstFitting(0.3)", ix.FirstFitting(0.3), 0},
+		{"FirstFitting(0.6)", ix.FirstFitting(0.6), 3},
+		{"LastFitting(0.3)", ix.LastFitting(0.3), 3},
+		{"LastFitting(0.5)", ix.LastFitting(0.5), 3},
+		{"TightestFitting(0.1)", ix.TightestFitting(0.1), 1},
+		{"TightestFitting(0.4)", ix.TightestFitting(0.4), 0},
+		{"EmptiestFitting(0.1)", ix.EmptiestFitting(0.1), 3},
+		{"SecondEmptiestFitting(0.1)", ix.SecondEmptiestFitting(0.1), 0},
+		{"SecondEmptiestFitting(0.6)", ix.SecondEmptiestFitting(0.6), -1},
+	}
+	for _, c := range cases {
+		if binIdx(c.got) != c.want {
+			t.Errorf("%s = bin %d, want %d", c.name, binIdx(c.got), c.want)
+		}
+	}
+	// Equal-gap group: with bin 3 emptiest, the runner-up is the lowest-
+	// indexed member of the gap-0.5 group {0, 2}.
+	if b := ix.SecondEmptiestFitting(0.45); binIdx(b) != 0 {
+		t.Errorf("SecondEmptiestFitting(0.45) = bin %d, want 0", binIdx(b))
+	}
+}
+
+func TestEnableIndexLatePanics(t *testing.T) {
+	g := NewLedger(1, 1)
+	g.OpenNew(item.Item{ID: 1, Size: 0.5, Arrival: 0, Departure: math.Inf(1)}, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EnableIndex after opening bins must panic")
+		}
+	}()
+	g.EnableIndex()
+}

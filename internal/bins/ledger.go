@@ -32,6 +32,11 @@ type Ledger struct {
 
 	maxConcurrentOpen int
 	closedUsage       float64
+
+	// index, when enabled, is the policy-query index kept coherent by
+	// every mutation below (see Index). Nil for owners that never issue
+	// indexed queries (replay, the linear reference engine).
+	index *Index
 }
 
 // NewLedger creates a ledger for bins of the given capacity and dimension.
@@ -63,6 +68,18 @@ func NewLedgerKeepAlive(capacity float64, dim int, keepAlive float64) *Ledger {
 // KeepAlive returns the configured keep-alive duration (0 = none).
 func (g *Ledger) KeepAlive() float64 { return g.keepAlive }
 
+// EnableIndex turns on the policy-query index, which every subsequent
+// mutation keeps coherent. It must be called before any bin is opened.
+func (g *Ledger) EnableIndex() {
+	if len(g.all) > 0 {
+		panic("bins: EnableIndex on a ledger that already opened bins")
+	}
+	g.index = &Index{}
+}
+
+// Index returns the policy-query index, or nil when not enabled.
+func (g *Ledger) Index() *Index { return g.index }
+
 // CloseExpired closes every lingering bin whose keep-alive budget has run
 // out by time now (expiry at emptySince + keepAlive, half-open: a bin
 // expiring exactly at now is closed and cannot serve an arrival at now).
@@ -82,6 +99,9 @@ func (g *Ledger) CloseExpired(now float64) int {
 		b.Close(e.emptySince + g.keepAlive)
 		g.closedUsage += b.Usage()
 		g.removeOpen(b)
+		if g.index != nil {
+			g.index.remove(b)
+		}
 		closed++
 	}
 	return closed
@@ -95,6 +115,9 @@ func (g *Ledger) CloseAllLingering() {
 		if b.Lingering() {
 			b.Close(b.EmptySince() + g.keepAlive)
 			g.closedUsage += b.Usage()
+			if g.index != nil {
+				g.index.remove(b)
+			}
 		} else {
 			kept = append(kept, b)
 		}
@@ -144,6 +167,9 @@ func (g *Ledger) OpenNewCap(it item.Item, t, capacity float64) *Bin {
 	}
 	b.Place(it, t)
 	g.location[it.ID] = b
+	if g.index != nil {
+		g.index.observeOpen(b)
+	}
 	return b
 }
 
@@ -151,6 +177,9 @@ func (g *Ledger) OpenNewCap(it item.Item, t, capacity float64) *Bin {
 func (g *Ledger) PlaceIn(b *Bin, it item.Item, t float64) {
 	b.Place(it, t)
 	g.location[it.ID] = b
+	if g.index != nil {
+		g.index.refresh(b)
+	}
 }
 
 // Remove removes the item from whichever bin holds it, closing the bin if
@@ -168,10 +197,16 @@ func (g *Ledger) Remove(id item.ID, t float64) (b *Bin, closed bool) {
 			// The bin just emptied into keep-alive; schedule its closure.
 			g.expiries.push(expiryEntry{emptySince: b.EmptySince(), bin: b})
 		}
+		if g.index != nil {
+			g.index.refresh(b)
+		}
 		return b, false
 	}
 	g.closedUsage += b.Usage()
 	g.removeOpen(b)
+	if g.index != nil {
+		g.index.remove(b)
+	}
 	return b, true
 }
 
@@ -266,6 +301,11 @@ func (g *Ledger) CheckInvariants() error {
 		}
 		if !scheduled {
 			return fmt.Errorf("lingering bin %d has no pending expiry entry", b.Index)
+		}
+	}
+	if g.index != nil {
+		if err := g.index.checkCoherent(g.open); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -49,21 +49,61 @@ func (a Arrival) sizeVec() []float64 {
 	return a.Sizes
 }
 
+// need is the gap threshold the arrival's scalar demand requires of a
+// bin: size minus the capacity tolerance, so a bin with gap >= need
+// accommodates the item under the same epsilon as Bin.Fits.
+func (a Arrival) need() float64 { return a.Size - bins.Eps }
+
+// Fleet is a policy's read-only view of the open bins: the raw opening-
+// order slice plus the Any Fit queries every classical policy is built
+// from. The indexed engine answers each query in O(log B) from the
+// ledger-maintained bins.Index; the linear reference engine answers them
+// with O(B) scans of identical, exact (gap, index)-lexicographic
+// semantics — the cross-engine equivalence suite holds the two to
+// bit-identical packings.
+//
+// The queries are scalar (first-dimension gaps); policies handling
+// vector demands filter Open() themselves on the linear path.
+type Fleet interface {
+	// Open returns the currently open bins in opening order (ascending
+	// index). The slice is shared; callers must not modify or retain it.
+	Open() []*bins.Bin
+	// FirstFitting returns the earliest-opened bin with gap >= need.
+	FirstFitting(need float64) *bins.Bin
+	// LastFitting returns the latest-opened bin with gap >= need.
+	LastFitting(need float64) *bins.Bin
+	// TightestFitting returns the bin with the smallest gap >= need,
+	// ties toward the earliest opened.
+	TightestFitting(need float64) *bins.Bin
+	// EmptiestFitting returns the bin with the largest gap, ties toward
+	// the earliest opened, or nil if that gap is below need.
+	EmptiestFitting(need float64) *bins.Bin
+	// SecondEmptiestFitting returns the runner-up of EmptiestFitting
+	// under the (descending gap, ascending index) order, restricted to
+	// gaps >= need.
+	SecondEmptiestFitting(need float64) *bins.Bin
+}
+
 // Algorithm is an online bin packing policy.
 //
-// Place returns the open bin that should receive the arrival, or nil to
-// open a new bin. Returning a bin that cannot accommodate the arrival is a
-// policy bug and makes the simulator fail the run. open is the list of
-// currently open bins in opening order (ascending index); implementations
-// must not modify it or retain it past the call. Implementations may
-// retain references to individual bins across calls (e.g. Next Fit's
-// available bin) and must tolerate those bins having closed.
+// Place returns the open bin that should receive the arrival — located
+// through the Fleet's indexed queries or its Open() slice — or nil to
+// open a new bin. Returning a bin that cannot accommodate the arrival is
+// a policy bug and makes the engine fail the run (ErrPolicyMisplace).
+// Implementations may retain references to individual bins across calls
+// (e.g. Next Fit's available bin) and must tolerate those bins having
+// closed.
+//
+// BinOpened reports the bin the engine opened after Place returned nil,
+// so bounded-state policies can track it (Next Fit's available bin,
+// Hybrid's class tag). Stateless policies implement it as a no-op.
 //
 // Reset restores the algorithm's initial state so one value can be reused
 // across runs.
 type Algorithm interface {
 	Name() string
-	Place(a Arrival, open []*bins.Bin) *bins.Bin
+	Place(a Arrival, f Fleet) *bins.Bin
+	BinOpened(b *bins.Bin)
 	Reset()
 }
 

@@ -3,7 +3,7 @@ package packing
 import "dbp/internal/bins"
 
 // BestFit places each item into the fitting open bin with the least
-// remaining capacity (highest level), breaking ties toward the earliest
+// remaining capacity (smallest gap), breaking ties toward the earliest
 // opened bin. The paper notes (Sec. I) that for MinUsageTime DBP the
 // competitive ratio of Best Fit is NOT bounded for any given mu — in sharp
 // contrast to classical bin packing, where Best Fit is one of the good
@@ -17,19 +17,24 @@ func NewBestFit() *BestFit { return &BestFit{} }
 func (*BestFit) Name() string { return "BestFit" }
 
 // Place returns the fitting bin with minimal gap (ties: lowest index).
-func (*BestFit) Place(a Arrival, open []*bins.Bin) *bins.Bin {
-	var best *bins.Bin
-	bestGap := 0.0
-	for _, b := range open {
-		if !fits(b, a) {
-			continue
+func (*BestFit) Place(a Arrival, f Fleet) *bins.Bin {
+	if len(a.Sizes) > 0 {
+		var best *bins.Bin
+		for _, b := range f.Open() {
+			if !fits(b, a) {
+				continue
+			}
+			if best == nil || b.Gap() < best.Gap() {
+				best = b
+			}
 		}
-		if best == nil || b.Gap() < bestGap-bins.Eps {
-			best, bestGap = b, b.Gap()
-		}
+		return best
 	}
-	return best
+	return f.TightestFitting(a.need())
 }
+
+// BinOpened implements Algorithm; Best Fit tracks no bin state.
+func (*BestFit) BinOpened(*bins.Bin) {}
 
 // Reset implements Algorithm; Best Fit is stateless.
 func (*BestFit) Reset() {}

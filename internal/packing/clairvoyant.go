@@ -12,7 +12,9 @@ import (
 // algorithms in the paper's model; they quantify how much of the online
 // penalty comes from not knowing departures — the gap the paper draws to
 // interval scheduling (Sec. II), where ending times are known yet
-// minimizing busy time is still hard.
+// minimizing busy time is still hard. Their decisions depend on per-bin
+// departure horizons, which the shared index does not track, so they
+// scan the open list (the linear path).
 
 // AlignFit places each item into the fitting bin whose closing horizon
 // (latest departure among resident items) is closest to the item's own
@@ -29,13 +31,13 @@ func (*AlignFit) Name() string { return "AlignFit(clairvoyant)" }
 
 // Place implements Algorithm; it panics if the run is not clairvoyant
 // (misconfiguration, not data).
-func (*AlignFit) Place(a Arrival, open []*bins.Bin) *bins.Bin {
+func (*AlignFit) Place(a Arrival, f Fleet) *bins.Bin {
 	if math.IsNaN(a.Departure) {
 		panic(fmt.Sprintf("packing: AlignFit requires Options.Clairvoyant (item %d)", a.ID))
 	}
 	var best *bins.Bin
 	bestDiff := math.Inf(1)
-	for _, b := range open {
+	for _, b := range f.Open() {
 		if !fits(b, a) {
 			continue
 		}
@@ -46,6 +48,9 @@ func (*AlignFit) Place(a Arrival, open []*bins.Bin) *bins.Bin {
 	}
 	return best
 }
+
+// BinOpened implements Algorithm; AlignFit tracks no bin state.
+func (*AlignFit) BinOpened(*bins.Bin) {}
 
 // Reset implements Algorithm; AlignFit is stateless.
 func (*AlignFit) Reset() {}
@@ -66,10 +71,11 @@ func NewNoExtendFit() *NoExtendFit { return &NoExtendFit{} }
 func (*NoExtendFit) Name() string { return "NoExtendFit(clairvoyant)" }
 
 // Place implements Algorithm.
-func (*NoExtendFit) Place(a Arrival, open []*bins.Bin) *bins.Bin {
+func (*NoExtendFit) Place(a Arrival, f Fleet) *bins.Bin {
 	if math.IsNaN(a.Departure) {
 		panic(fmt.Sprintf("packing: NoExtendFit requires Options.Clairvoyant (item %d)", a.ID))
 	}
+	open := f.Open()
 	// Pass 1: fullest bin the item fits without extending its horizon.
 	var free *bins.Bin
 	for _, b := range open {
@@ -91,6 +97,9 @@ func (*NoExtendFit) Place(a Arrival, open []*bins.Bin) *bins.Bin {
 	}
 	return nil
 }
+
+// BinOpened implements Algorithm; NoExtendFit tracks no bin state.
+func (*NoExtendFit) BinOpened(*bins.Bin) {}
 
 // Reset implements Algorithm; NoExtendFit is stateless.
 func (*NoExtendFit) Reset() {}

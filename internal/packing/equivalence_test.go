@@ -1,0 +1,145 @@
+package packing_test
+
+// Cross-engine equivalence: the indexed engine (BinIndex queries) and the
+// linear reference engine (O(B) scans with the same exact tie-breaking)
+// must produce bit-identical packings for every standard policy. The
+// linear engine is the executable specification; this suite is the oracle
+// guarding the gap segment tree and the level-ordered index under both
+// statistical (Poisson, MMPP) and adversarial workloads, with and
+// without keep-alive — through the batch Run path and the online Stream
+// path. External package: the workloads live in internal/workload, which
+// itself imports packing.
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"dbp/internal/event"
+	"dbp/internal/item"
+	"dbp/internal/packing"
+	"dbp/internal/workload"
+)
+
+// equivWorkloads returns the named instances the suite checks. Sizes are
+// modest — the point is coverage of placement decisions, not throughput.
+func equivWorkloads() map[string]item.List {
+	poisson := workload.Generate(workload.UniformConfig(400, 6, 8, 11))
+	bursty := workload.GenerateBursty(workload.BurstyConfig{
+		Config:      workload.UniformConfig(400, 3, 8, 12),
+		BurstFactor: 8, MeanCalm: 4, MeanBurst: 1,
+	})
+	return map[string]item.List{
+		"poisson":       poisson,
+		"mmpp":          bursty,
+		"nextfit-adv":   workload.NextFitAdversary(120, 8),
+		"anyfit-trap":   workload.AnyFitTrap(120, 8),
+		"bestfit-relay": workload.BestFitRelay(6, 4, 4),
+	}
+}
+
+func sameRun(t *testing.T, label string, a, b *packing.Result) {
+	t.Helper()
+	if a.TotalUsage != b.TotalUsage {
+		t.Fatalf("%s: usage %g (indexed) != %g (linear)", label, a.TotalUsage, b.TotalUsage)
+	}
+	if a.NumBins() != b.NumBins() || a.MaxConcurrentOpen != b.MaxConcurrentOpen {
+		t.Fatalf("%s: fleet shape %d/%d (indexed) != %d/%d (linear)",
+			label, a.NumBins(), a.MaxConcurrentOpen, b.NumBins(), b.MaxConcurrentOpen)
+	}
+	if len(a.Assignment) != len(b.Assignment) {
+		t.Fatalf("%s: %d vs %d assignments", label, len(a.Assignment), len(b.Assignment))
+	}
+	for id, bin := range a.Assignment {
+		if other, ok := b.Assignment[id]; !ok || other != bin {
+			t.Fatalf("%s: job %d -> bin %d (indexed) vs %d (linear)", label, id, bin, other)
+		}
+	}
+}
+
+// TestEnginesEquivalentAcrossPolicies is the batch-path half of the
+// oracle: packing.Run on both engines, every Standard policy, every
+// workload, keep-alive off and on.
+func TestEnginesEquivalentAcrossPolicies(t *testing.T) {
+	for wname, jobs := range equivWorkloads() {
+		for _, keepAlive := range []float64{0, 0.7} {
+			for pname, algo := range packing.Standard() {
+				label := fmt.Sprintf("%s/%s/ka=%g", wname, pname, keepAlive)
+				idx, err := packing.Run(algo, jobs, &packing.Options{
+					KeepAlive: keepAlive, Engine: packing.EngineIndexed, Validate: true,
+				})
+				if err != nil {
+					t.Fatalf("%s indexed: %v", label, err)
+				}
+				lin, err := packing.Run(algo, jobs, &packing.Options{
+					KeepAlive: keepAlive, Engine: packing.EngineLinear, Validate: true,
+				})
+				if err != nil {
+					t.Fatalf("%s linear: %v", label, err)
+				}
+				sameRun(t, label, idx, lin)
+			}
+		}
+	}
+}
+
+// TestStreamEnginesEquivalentAcrossPolicies is the online-path half:
+// both engines fed the identical event sequence through Stream must
+// agree on every per-event decision — server id, open/close actions —
+// not just the final aggregates.
+func TestStreamEnginesEquivalentAcrossPolicies(t *testing.T) {
+	for wname, jobs := range equivWorkloads() {
+		for _, keepAlive := range []float64{0, 0.7} {
+			// The two streams run interleaved, so stateful policies (Next
+			// Fit's current bin, Hybrid's class maps) need one instance per
+			// stream; Standard() returns fresh instances on every call.
+			linAlgos := packing.Standard()
+			for pname, algo := range packing.Standard() {
+				label := fmt.Sprintf("%s/%s/ka=%g", wname, pname, keepAlive)
+				idx, err := packing.NewStreamEngine(algo, 0, 0, keepAlive, packing.EngineIndexed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				lin, err := packing.NewStreamEngine(linAlgos[pname], 0, 0, keepAlive, packing.EngineLinear)
+				if err != nil {
+					t.Fatal(err)
+				}
+				q := event.NewFromList(jobs)
+				for q.Len() > 0 {
+					e := q.Pop()
+					if e.Kind == event.Arrive {
+						s1, o1, err1 := idx.Arrive(e.Item.ID, e.Item.Size, e.Item.Sizes, e.Time)
+						s2, o2, err2 := lin.Arrive(e.Item.ID, e.Item.Size, e.Item.Sizes, e.Time)
+						if err1 != nil || err2 != nil {
+							t.Fatalf("%s: arrive errors %v / %v", label, err1, err2)
+						}
+						if s1 != s2 || o1 != o2 {
+							t.Fatalf("%s: job %d -> server %d opened=%v (indexed) vs %d opened=%v (linear)",
+								label, e.Item.ID, s1, o1, s2, o2)
+						}
+					} else {
+						s1, c1, err1 := idx.Depart(e.Item.ID, e.Time)
+						s2, c2, err2 := lin.Depart(e.Item.ID, e.Time)
+						if err1 != nil || err2 != nil {
+							t.Fatalf("%s: depart errors %v / %v", label, err1, err2)
+						}
+						if s1 != s2 || c1 != c2 {
+							t.Fatalf("%s: job %d departed server %d closed=%v vs %d closed=%v",
+								label, e.Item.ID, s1, c1, s2, c2)
+						}
+					}
+				}
+				idx.Shutdown()
+				lin.Shutdown()
+				end := jobs.PackingPeriod().Hi + keepAlive
+				u1, u2 := idx.AccumulatedUsage(end), lin.AccumulatedUsage(end)
+				if math.Abs(u1-u2) > 0 {
+					t.Fatalf("%s: usage %g (indexed) != %g (linear)", label, u1, u2)
+				}
+				if idx.ServersUsed() != lin.ServersUsed() || idx.PeakServers() != lin.PeakServers() {
+					t.Fatalf("%s: fleet shape mismatch", label)
+				}
+			}
+		}
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"math"
 	"strings"
 	"testing"
+
+	"dbp/internal/item"
 )
 
 // TestStreamErrorClasses checks that every Stream rejection unwraps to
@@ -116,6 +118,32 @@ func TestStreamErrorClasses(t *testing.T) {
 				t.Errorf("message %q lost its package prefix", err)
 			}
 		})
+	}
+}
+
+// TestRunSharesStreamSentinels: Run routes demand validation and the
+// misplace check through the same engine core as Stream, so batch runs
+// reject impossible demands and policy bugs with the identical typed
+// sentinels instead of panicking mid-simulation (the simulator used to
+// lack Stream's vector-demand validation entirely).
+func TestRunSharesStreamSentinels(t *testing.T) {
+	// Scalar demand exceeding a sub-unit fleet capacity.
+	over := item.List{{ID: 1, Size: 0.9, Arrival: 0, Departure: 1}}
+	if _, err := Run(NewFirstFit(), over, &Options{Capacity: 0.5}); !errors.Is(err, ErrBadDemand) {
+		t.Fatalf("oversized scalar: err = %v, want ErrBadDemand", err)
+	}
+	// Vector demand with a component exceeding capacity.
+	vec := item.List{{ID: 1, Size: 0.9, Sizes: []float64{0.2, 0.9}, Arrival: 0, Departure: 1}}
+	if _, err := Run(NewFirstFit(), vec, &Options{Capacity: 0.5, Dim: 2}); !errors.Is(err, ErrBadDemand) {
+		t.Fatalf("oversized vector: err = %v, want ErrBadDemand", err)
+	}
+	// A policy returning a non-fitting bin aborts with ErrPolicyMisplace.
+	clash := item.List{
+		{ID: 1, Size: 0.9, Arrival: 0, Departure: 10},
+		{ID: 2, Size: 0.9, Arrival: 1, Departure: 10},
+	}
+	if _, err := Run(faultyFullBin{}, clash, nil); !errors.Is(err, ErrPolicyMisplace) {
+		t.Fatalf("misplacing policy: err = %v, want ErrPolicyMisplace", err)
 	}
 }
 

@@ -20,14 +20,22 @@ func NewFirstFit() *FirstFit { return &FirstFit{} }
 func (*FirstFit) Name() string { return "FirstFit" }
 
 // Place returns the lowest-indexed open bin that fits, or nil.
-func (*FirstFit) Place(a Arrival, open []*bins.Bin) *bins.Bin {
-	for _, b := range open {
-		if fits(b, a) {
-			return b
+func (*FirstFit) Place(a Arrival, f Fleet) *bins.Bin {
+	if len(a.Sizes) > 0 {
+		// Vector demand: per-dimension gaps are not representable in the
+		// scalar index; use the exact linear rule.
+		for _, b := range f.Open() {
+			if fits(b, a) {
+				return b
+			}
 		}
+		return nil
 	}
-	return nil
+	return f.FirstFitting(a.need())
 }
+
+// BinOpened implements Algorithm; First Fit tracks no bin state.
+func (*FirstFit) BinOpened(*bins.Bin) {}
 
 // Reset implements Algorithm; First Fit is stateless.
 func (*FirstFit) Reset() {}

@@ -1,0 +1,101 @@
+package packing
+
+import "dbp/internal/bins"
+
+// The two Fleet backends. indexedFleet delegates every query to the
+// ledger-maintained bins.Index (O(log B)); linearFleet answers the same
+// queries by scanning the open list (O(B)) with identical exact
+// semantics. The linear backend is the executable specification the
+// indexed one is tested against, and the baseline cmd/dbpbench measures
+// the index against.
+
+type indexedFleet struct {
+	ledger *bins.Ledger
+}
+
+func (f indexedFleet) Open() []*bins.Bin { return f.ledger.OpenBins() }
+func (f indexedFleet) FirstFitting(need float64) *bins.Bin {
+	return f.ledger.Index().FirstFitting(need)
+}
+func (f indexedFleet) LastFitting(need float64) *bins.Bin {
+	return f.ledger.Index().LastFitting(need)
+}
+func (f indexedFleet) TightestFitting(need float64) *bins.Bin {
+	return f.ledger.Index().TightestFitting(need)
+}
+func (f indexedFleet) EmptiestFitting(need float64) *bins.Bin {
+	return f.ledger.Index().EmptiestFitting(need)
+}
+func (f indexedFleet) SecondEmptiestFitting(need float64) *bins.Bin {
+	return f.ledger.Index().SecondEmptiestFitting(need)
+}
+
+type linearFleet struct {
+	ledger *bins.Ledger
+}
+
+func (f linearFleet) Open() []*bins.Bin { return f.ledger.OpenBins() }
+
+func (f linearFleet) FirstFitting(need float64) *bins.Bin {
+	for _, b := range f.ledger.OpenBins() {
+		if b.Gap() >= need {
+			return b
+		}
+	}
+	return nil
+}
+
+func (f linearFleet) LastFitting(need float64) *bins.Bin {
+	open := f.ledger.OpenBins()
+	for i := len(open) - 1; i >= 0; i-- {
+		if open[i].Gap() >= need {
+			return open[i]
+		}
+	}
+	return nil
+}
+
+func (f linearFleet) TightestFitting(need float64) *bins.Bin {
+	var best *bins.Bin
+	for _, b := range f.ledger.OpenBins() {
+		if b.Gap() < need {
+			continue
+		}
+		if best == nil || b.Gap() < best.Gap() {
+			best = b
+		}
+	}
+	return best
+}
+
+func (f linearFleet) EmptiestFitting(need float64) *bins.Bin {
+	var best *bins.Bin
+	for _, b := range f.ledger.OpenBins() {
+		if b.Gap() < need {
+			continue
+		}
+		if best == nil || b.Gap() > best.Gap() {
+			best = b
+		}
+	}
+	return best
+}
+
+func (f linearFleet) SecondEmptiestFitting(need float64) *bins.Bin {
+	var first, second *bins.Bin
+	for _, b := range f.ledger.OpenBins() {
+		if b.Gap() < need {
+			continue
+		}
+		switch {
+		case first == nil:
+			first = b
+		case b.Gap() > first.Gap():
+			second = first
+			first = b
+		case second == nil || b.Gap() > second.Gap():
+			second = b
+		}
+	}
+	return second
+}

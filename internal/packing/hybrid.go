@@ -29,6 +29,10 @@ func classify(size float64, k int) int {
 // of each bin: a bin of class i (holding sizes in (1/(i+2), 1/(i+1)])
 // reaches level > (i+1)/(i+2) whenever it refuses an item of its class.
 //
+// The per-class membership is policy state the shared index knows nothing
+// about, so Place scans the open list — the linear path — filtering by
+// class.
+//
 // The variant is semi-online in the same sense as the paper's Sec. II
 // remark: choosing k to optimize the bound requires knowing mu a priori.
 // This implementation documents itself as the classification scheme; the
@@ -54,9 +58,9 @@ func NewHybridFirstFit(k int) *HybridFirstFit {
 func (h *HybridFirstFit) Name() string { return fmt.Sprintf("HybridFirstFit(k=%d)", h.k) }
 
 // Place applies First Fit within the arrival's size class.
-func (h *HybridFirstFit) Place(a Arrival, open []*bins.Bin) *bins.Bin {
+func (h *HybridFirstFit) Place(a Arrival, f Fleet) *bins.Bin {
 	c := classify(a.Size, h.k)
-	for _, b := range open {
+	for _, b := range f.Open() {
 		if h.class[b] == c && fits(b, a) {
 			return b
 		}
@@ -99,7 +103,7 @@ func NewHybridNextFit(k int) *HybridNextFit {
 func (h *HybridNextFit) Name() string { return fmt.Sprintf("HybridNextFit(k=%d)", h.k) }
 
 // Place puts the arrival in its class's available bin if possible.
-func (h *HybridNextFit) Place(a Arrival, open []*bins.Bin) *bins.Bin {
+func (h *HybridNextFit) Place(a Arrival, f Fleet) *bins.Bin {
 	c := classify(a.Size, h.k)
 	if b := h.available[c]; b != nil && b.IsOpen() && fits(b, a) {
 		return b

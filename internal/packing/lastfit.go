@@ -17,14 +17,21 @@ func NewLastFit() *LastFit { return &LastFit{} }
 func (*LastFit) Name() string { return "LastFit" }
 
 // Place returns the highest-indexed open bin that fits, or nil.
-func (*LastFit) Place(a Arrival, open []*bins.Bin) *bins.Bin {
-	for i := len(open) - 1; i >= 0; i-- {
-		if fits(open[i], a) {
-			return open[i]
+func (*LastFit) Place(a Arrival, f Fleet) *bins.Bin {
+	if len(a.Sizes) > 0 {
+		open := f.Open()
+		for i := len(open) - 1; i >= 0; i-- {
+			if fits(open[i], a) {
+				return open[i]
+			}
 		}
+		return nil
 	}
-	return nil
+	return f.LastFitting(a.need())
 }
+
+// BinOpened implements Algorithm; Last Fit tracks no bin state.
+func (*LastFit) BinOpened(*bins.Bin) {}
 
 // Reset implements Algorithm; Last Fit is stateless.
 func (*LastFit) Reset() {}

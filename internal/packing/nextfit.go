@@ -14,6 +14,9 @@ import "dbp/internal/bins"
 // the multiplicative factor 2 for mu is inherent — whereas First Fit
 // achieves factor 1 (Theorem 1). Experiment E2 reproduces the
 // construction.
+//
+// Next Fit inspects only its one retained bin — O(1) per event, no index
+// queries at all.
 type NextFit struct {
 	available *bins.Bin
 }
@@ -25,9 +28,9 @@ func NewNextFit() *NextFit { return &NextFit{} }
 func (*NextFit) Name() string { return "NextFit" }
 
 // Place puts the arrival in the available bin if it fits; otherwise it
-// requests a new bin (which the simulator reports via BinOpened, making it
+// requests a new bin (which the engine reports via BinOpened, making it
 // the new available bin).
-func (nf *NextFit) Place(a Arrival, open []*bins.Bin) *bins.Bin {
+func (nf *NextFit) Place(a Arrival, f Fleet) *bins.Bin {
 	if nf.available != nil && nf.available.IsOpen() && fits(nf.available, a) {
 		return nf.available
 	}
@@ -38,7 +41,7 @@ func (nf *NextFit) Place(a Arrival, open []*bins.Bin) *bins.Bin {
 }
 
 // BinOpened records the freshly opened bin as the available bin.
-// The simulator calls it whenever Place returned nil and a bin was opened.
+// The engine calls it whenever Place returned nil and a bin was opened.
 func (nf *NextFit) BinOpened(b *bins.Bin) { nf.available = b }
 
 // Reset implements Algorithm.

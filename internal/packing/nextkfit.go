@@ -13,7 +13,8 @@ import (
 // new bin is opened. NextKFit(1) behaves exactly like Next Fit; larger k
 // interpolates toward First Fit's behaviour while keeping bounded state —
 // useful for charting how much of Next Fit's 2*mu penalty (Sec. VIII) is
-// due to its single-bin memory.
+// due to its single-bin memory. Like Next Fit, it inspects only its own
+// O(k) retained bins, never the full fleet.
 type NextKFit struct {
 	k         int
 	available []*bins.Bin // FIFO by opening, oldest first
@@ -32,7 +33,7 @@ func (nk *NextKFit) Name() string { return fmt.Sprintf("NextKFit(k=%d)", nk.k) }
 
 // Place puts the arrival in the lowest-indexed available bin that fits;
 // otherwise it retires the oldest available bin and requests a new one.
-func (nk *NextKFit) Place(a Arrival, open []*bins.Bin) *bins.Bin {
+func (nk *NextKFit) Place(a Arrival, f Fleet) *bins.Bin {
 	// Drop available bins that closed on their own.
 	live := nk.available[:0]
 	for _, b := range nk.available {
@@ -62,7 +63,8 @@ func (nk *NextKFit) Reset() { nk.available = nil }
 // AlmostWorstFit places each item into the second-emptiest fitting bin
 // (falling back to the emptiest when only one fits) — the classical
 // Almost Worst Fit rule, a standard Any Fit baseline whose behaviour
-// sits between Worst Fit and Best Fit.
+// sits between Worst Fit and Best Fit. "Second-emptiest" is the runner-
+// up under the exact (descending gap, ascending index) order.
 type AlmostWorstFit struct{}
 
 // NewAlmostWorstFit returns an Almost Worst Fit policy.
@@ -73,27 +75,37 @@ func (*AlmostWorstFit) Name() string { return "AlmostWorstFit" }
 
 // Place returns the second-emptiest fitting bin (ties toward lower
 // index), or the emptiest if only one fits, or nil if none fits.
-func (*AlmostWorstFit) Place(a Arrival, open []*bins.Bin) *bins.Bin {
-	var first, second *bins.Bin // emptiest and second-emptiest fitting
-	for _, b := range open {
-		if !fits(b, a) {
-			continue
+func (*AlmostWorstFit) Place(a Arrival, f Fleet) *bins.Bin {
+	if len(a.Sizes) > 0 {
+		var first, second *bins.Bin // emptiest and second-emptiest fitting
+		for _, b := range f.Open() {
+			if !fits(b, a) {
+				continue
+			}
+			switch {
+			case first == nil:
+				first = b
+			case b.Gap() > first.Gap():
+				second = first
+				first = b
+			case second == nil || b.Gap() > second.Gap():
+				second = b
+			}
 		}
-		switch {
-		case first == nil:
-			first = b
-		case b.Gap() > first.Gap()+bins.Eps:
-			second = first
-			first = b
-		case second == nil || b.Gap() > second.Gap()+bins.Eps:
-			second = b
+		if second != nil {
+			return second
 		}
+		return first
 	}
-	if second != nil {
+	need := a.need()
+	if second := f.SecondEmptiestFitting(need); second != nil {
 		return second
 	}
-	return first
+	return f.EmptiestFitting(need)
 }
+
+// BinOpened implements Algorithm; Almost Worst Fit tracks no bin state.
+func (*AlmostWorstFit) BinOpened(*bins.Bin) {}
 
 // Reset implements Algorithm; Almost Worst Fit is stateless.
 func (*AlmostWorstFit) Reset() {}

@@ -20,6 +20,7 @@ import (
 // Runs require Options.Clairvoyant (the simulator supplies the true
 // departure; the policy perturbs it deterministically per item and seed,
 // so the policy itself never acts on exact information when sigma > 0).
+// Horizon-driven like NoExtendFit, it scans the open list (linear path).
 type PredictiveFit struct {
 	sigma float64
 	seed  int64
@@ -41,11 +42,12 @@ func (p *PredictiveFit) Name() string {
 
 // Place implements Algorithm: NoExtendFit's rule driven by the predicted
 // departure.
-func (p *PredictiveFit) Place(a Arrival, open []*bins.Bin) *bins.Bin {
+func (p *PredictiveFit) Place(a Arrival, f Fleet) *bins.Bin {
 	if math.IsNaN(a.Departure) {
 		panic(fmt.Sprintf("packing: PredictiveFit requires Options.Clairvoyant (item %d)", a.ID))
 	}
 	pred := p.predict(a)
+	open := f.Open()
 	var free *bins.Bin
 	for _, b := range open {
 		if !fits(b, a) || pred > horizon(b) {
@@ -77,6 +79,9 @@ func (p *PredictiveFit) predict(a Arrival) float64 {
 	dur := a.Departure - a.At
 	return a.At + dur*math.Exp(p.sigma*rng.NormFloat64())
 }
+
+// BinOpened implements Algorithm; PredictiveFit tracks no bin state.
+func (*PredictiveFit) BinOpened(*bins.Bin) {}
 
 // Reset implements Algorithm; the noise stream is keyed per item, so
 // there is no run state to clear.

@@ -11,6 +11,8 @@ import (
 // is an Any Fit algorithm (it opens a new bin only when nothing fits) and
 // serves as a randomized baseline in the comparison experiments. Runs are
 // reproducible: the policy is seeded and Reset rewinds it to the seed.
+// The candidate set is the full fitting list, so the policy stays on the
+// linear path by construction.
 type RandomFit struct {
 	seed int64
 	rng  *rand.Rand
@@ -25,13 +27,16 @@ func NewRandomFit(seed int64) *RandomFit {
 func (rf *RandomFit) Name() string { return fmt.Sprintf("RandomFit(seed=%d)", rf.seed) }
 
 // Place returns a uniformly random fitting bin, or nil if none fits.
-func (rf *RandomFit) Place(a Arrival, open []*bins.Bin) *bins.Bin {
-	cands := fitting(open, a)
+func (rf *RandomFit) Place(a Arrival, f Fleet) *bins.Bin {
+	cands := fitting(f.Open(), a)
 	if len(cands) == 0 {
 		return nil
 	}
 	return cands[rf.rng.Intn(len(cands))]
 }
+
+// BinOpened implements Algorithm; Random Fit tracks no bin state.
+func (*RandomFit) BinOpened(*bins.Bin) {}
 
 // Reset rewinds the random stream to the seed, making runs reproducible.
 func (rf *RandomFit) Reset() { rf.rng = rand.New(rand.NewSource(rf.seed)) }

@@ -3,29 +3,13 @@ package packing
 import (
 	"fmt"
 
-	"dbp/internal/bins"
 	"dbp/internal/event"
 	"dbp/internal/item"
 )
 
-// binOpenObserver is implemented by algorithms that need to learn the
-// identity of the bin opened after Place returned nil (Next Fit keeps it
-// as the available bin; Hybrid variants tag it with a size class).
-type binOpenObserver interface {
-	BinOpened(b *bins.Bin)
-}
-
-// levelObserver is implemented by algorithms that maintain indexed state
-// over bin levels (FastFirstFit's segment tree): the simulator notifies
-// every level change so the index stays coherent in O(log B) per event.
-type levelObserver interface {
-	ItemPlaced(b *bins.Bin)
-	ItemRemoved(b *bins.Bin)
-}
-
 // Options configures a simulation run. The zero value means: unit
-// capacity, dimensionality inferred from the items, no per-event
-// validation.
+// capacity, dimensionality inferred from the items, indexed engine, no
+// per-event validation.
 type Options struct {
 	// Capacity is the per-dimension bin capacity; 0 means 1.0 (the
 	// paper's normalization — item sizes are fractions of a server).
@@ -33,6 +17,13 @@ type Options struct {
 	// Dim forces the resource dimensionality; 0 infers it from the items
 	// (1 unless some item carries a vector demand).
 	Dim int
+	// Engine selects the Fleet backend: EngineIndexed ("" = default)
+	// answers policy queries from the ledger-maintained index in
+	// O(log B); EngineLinear uses the O(B) reference scans. The two
+	// produce bit-identical packings (the equivalence suite asserts it);
+	// linear exists as the executable specification and benchmark
+	// baseline.
+	Engine EngineKind
 	// Validate runs ledger invariant checks after every event. Slow;
 	// meant for tests.
 	Validate bool
@@ -61,6 +52,13 @@ func (o *Options) capacity() float64 {
 	return o.Capacity
 }
 
+func (o *Options) engine() EngineKind {
+	if o == nil {
+		return EngineIndexed
+	}
+	return o.Engine
+}
+
 func (o *Options) dim(l item.List) int {
 	if o != nil && o.Dim > 0 {
 		return o.Dim
@@ -76,9 +74,11 @@ func (o *Options) dim(l item.List) int {
 
 // Run simulates the online packing of the item list under the given
 // algorithm and returns the complete packing outcome. The algorithm is
-// Reset before the run. Run returns an error if the item list is invalid
-// or the algorithm returns an unusable placement (a closed or non-fitting
-// bin) — the latter indicates a policy bug and aborts the run.
+// Reset before the run. Run returns an error if the item list is invalid,
+// some demand can never be served (ErrBadDemand — the same typed sentinel
+// and validation path Stream.Arrive uses), or the algorithm returns an
+// unusable placement (ErrPolicyMisplace, a policy bug that aborts the
+// run).
 func Run(algo Algorithm, l item.List, opt *Options) (*Result, error) {
 	if err := l.Validate(); err != nil {
 		return nil, fmt.Errorf("packing: invalid instance: %w", err)
@@ -89,16 +89,18 @@ func Run(algo Algorithm, l item.List, opt *Options) (*Result, error) {
 			return nil, fmt.Errorf("packing: item %d has dim %d, run has dim %d", it.ID, it.Dim(), dim)
 		}
 	}
-	capacity := opt.capacity()
-	return runCore(algo, l, opt, func(Arrival) (float64, error) { return capacity, nil })
+	return runCore(algo, l, opt, nil)
 }
 
 // runCore is the event loop shared by Run (homogeneous capacity) and
-// RunFleet (per-opening capacity via capacityFor). The instance must
-// already be validated.
+// RunFleet (per-opening capacity via capacityFor, nil for homogeneous).
+// The instance must already be validated. All placement mechanics —
+// demand validation, policy query, misplace check, bin-open notification
+// — live in the engine, the same core Stream drives.
 func runCore(algo Algorithm, l item.List, opt *Options, capacityFor func(a Arrival) (float64, error)) (*Result, error) {
-	dim := opt.dim(l)
-	algo.Reset()
+	if !opt.engine().valid() {
+		return nil, badEngine(opt.engine())
+	}
 	keepAlive := 0.0
 	if opt != nil {
 		if opt.KeepAlive < 0 {
@@ -106,72 +108,42 @@ func runCore(algo Algorithm, l item.List, opt *Options, capacityFor func(a Arriv
 		}
 		keepAlive = opt.KeepAlive
 	}
-	ledger := bins.NewLedgerKeepAlive(opt.capacity(), dim, keepAlive)
+	eng := newEngine(algo, opt.capacity(), opt.dim(l), keepAlive, opt.engine(), opt != nil && opt.Clairvoyant)
 	q := event.NewFromListOrder(l, opt != nil && opt.ArrivalsFirst)
 	assignment := make(map[item.ID]int, len(l))
 
-	lobs, _ := algo.(levelObserver)
 	for q.Len() > 0 {
 		e := q.Pop()
-		ledger.CloseExpired(e.Time)
+		eng.ledger.CloseExpired(e.Time)
 		switch e.Kind {
 		case event.Depart:
-			b, _ := ledger.Remove(e.Item.ID, e.Time)
-			if lobs != nil {
-				lobs.ItemRemoved(b)
-			}
+			eng.depart(e.Item.ID, e.Time)
 		case event.Arrive:
-			a := view(e.Item, e.Time)
-			if opt != nil && opt.Clairvoyant {
-				a.Departure = e.Item.Departure
-			}
-			b := algo.Place(a, ledger.OpenBins())
-			if b == nil {
-				capacity, err := capacityFor(a)
-				if err != nil {
-					return nil, err
-				}
-				b = ledger.OpenNewCap(e.Item, e.Time, capacity)
-				if obs, ok := algo.(binOpenObserver); ok {
-					obs.BinOpened(b)
-				}
-				if lobs != nil {
-					lobs.ItemPlaced(b)
-				}
-			} else {
-				if !b.IsOpen() {
-					return nil, fmt.Errorf("packing: %s placed item %d in closed bin %d", algo.Name(), e.Item.ID, b.Index)
-				}
-				if !b.Fits(e.Item) {
-					return nil, fmt.Errorf("packing: %s placed item %d (size %g) in bin %d with insufficient capacity (level %g)",
-						algo.Name(), e.Item.ID, e.Item.Size, b.Index, b.Level())
-				}
-				ledger.PlaceIn(b, e.Item, e.Time)
-				if lobs != nil {
-					lobs.ItemPlaced(b)
-				}
+			b, _, err := eng.arrive(e.Item, e.Time, capacityFor)
+			if err != nil {
+				return nil, err
 			}
 			assignment[e.Item.ID] = b.Index
 		}
 		if opt != nil && opt.Validate {
-			if err := ledger.CheckInvariants(); err != nil {
+			if err := eng.validate(); err != nil {
 				return nil, fmt.Errorf("packing: invariant violated after %v of item %d at t=%g: %w",
 					e.Kind, e.Item.ID, e.Time, err)
 			}
 		}
 	}
 
-	ledger.CloseAllLingering()
-	if n := ledger.NumOpen(); n != 0 {
+	eng.ledger.CloseAllLingering()
+	if n := eng.ledger.NumOpen(); n != 0 {
 		return nil, fmt.Errorf("packing: %d bins still open after drain", n)
 	}
 	return &Result{
 		Algorithm:         algo.Name(),
 		Items:             l,
-		Bins:              ledger.AllBins(),
+		Bins:              eng.ledger.AllBins(),
 		Assignment:        assignment,
-		TotalUsage:        ledger.TotalUsage(0),
-		MaxConcurrentOpen: ledger.MaxConcurrentOpen(),
+		TotalUsage:        eng.ledger.TotalUsage(0),
+		MaxConcurrentOpen: eng.ledger.MaxConcurrentOpen(),
 		KeepAlive:         keepAlive,
 	}, nil
 }

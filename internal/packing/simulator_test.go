@@ -122,10 +122,11 @@ func TestRunVectorItems(t *testing.T) {
 // exercise the simulator's policy-bug detection.
 type faultyFullBin struct{}
 
-func (faultyFullBin) Name() string { return "faulty" }
-func (faultyFullBin) Reset()       {}
-func (faultyFullBin) Place(a Arrival, open []*binsBin) *binsBin {
-	if len(open) > 0 {
+func (faultyFullBin) Name() string       { return "faulty" }
+func (faultyFullBin) Reset()             {}
+func (faultyFullBin) BinOpened(*binsBin) {}
+func (faultyFullBin) Place(a Arrival, f Fleet) *binsBin {
+	if open := f.Open(); len(open) > 0 {
 		return open[0]
 	}
 	return nil

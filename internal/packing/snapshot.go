@@ -42,7 +42,7 @@ type ServerState struct {
 // UsageTime returns the accumulated server usage time up to the last
 // event fed to the stream — AccumulatedUsage(Now()). Open servers
 // accrue usage up to the stream clock.
-func (s *Stream) UsageTime() float64 { return s.ledger.TotalUsage(s.now) }
+func (s *Stream) UsageTime() float64 { return s.eng.ledger.TotalUsage(s.now) }
 
 // Events returns the number of events (arrivals + departures, including
 // any that advanced the clock) accepted so far.
@@ -51,14 +51,14 @@ func (s *Stream) Events() int { return s.nEvent }
 // Snapshot captures the stream's current totals and per-server state.
 // The result shares no memory with the stream.
 func (s *Stream) Snapshot() Snapshot {
-	open := s.ledger.OpenBins()
+	open := s.eng.ledger.OpenBins()
 	snap := Snapshot{
 		Now:         s.now,
 		Events:      s.nEvent,
 		OpenServers: len(open),
-		ServersUsed: s.ledger.NumOpened(),
-		PeakServers: s.ledger.MaxConcurrentOpen(),
-		UsageTime:   s.ledger.TotalUsage(s.now),
+		ServersUsed: s.eng.ledger.NumOpened(),
+		PeakServers: s.eng.ledger.MaxConcurrentOpen(),
+		UsageTime:   s.eng.ledger.TotalUsage(s.now),
 	}
 	if len(open) > 0 {
 		snap.Servers = make([]ServerState, len(open))

@@ -11,13 +11,13 @@ import (
 // scenario: jobs arrive one at a time with unknown departure times, the
 // caller is told which server (bin) each job was assigned to, and later
 // reports departures. It is what a cloud-gaming provider's dispatcher
-// would embed; Run is a convenience wrapper over the same mechanics for
-// instances whose departures are known to the simulator.
+// would embed; Run is a convenience wrapper over the same engine for
+// instances whose departures are known to the simulator — both drive the
+// identical placement core (validation, policy query, misplace check).
 //
 // Time must be fed in non-decreasing order across Arrive and Depart calls.
 type Stream struct {
-	algo   Algorithm
-	ledger *bins.Ledger
+	eng    *engine
 	now    float64
 	nEvent int
 }
@@ -40,14 +40,21 @@ func NewStream(algo Algorithm, capacity float64, dim int) *Stream {
 // down, mirroring Options.KeepAlive for batch runs. Expiries are
 // processed as the stream's clock advances.
 func NewStreamKeepAlive(algo Algorithm, capacity float64, dim int, keepAlive float64) *Stream {
-	if capacity == 0 {
-		capacity = 1
+	s, err := NewStreamEngine(algo, capacity, dim, keepAlive, EngineIndexed)
+	if err != nil {
+		panic(err) // unreachable: EngineIndexed is always valid
 	}
-	if dim == 0 {
-		dim = 1
+	return s
+}
+
+// NewStreamEngine is NewStreamKeepAlive with an explicit engine kind —
+// EngineIndexed (the default everywhere) or EngineLinear (the reference
+// backend the equivalence suite compares against).
+func NewStreamEngine(algo Algorithm, capacity float64, dim int, keepAlive float64, kind EngineKind) (*Stream, error) {
+	if !kind.valid() {
+		return nil, badEngine(kind)
 	}
-	algo.Reset()
-	return &Stream{algo: algo, ledger: bins.NewLedgerKeepAlive(capacity, dim, keepAlive)}
+	return &Stream{eng: newEngine(algo, capacity, dim, keepAlive, kind, false)}, nil
 }
 
 // Arrive dispatches a job with the given demand at time t and returns the
@@ -62,44 +69,15 @@ func (s *Stream) Arrive(id item.ID, size float64, sizes []float64, t float64) (s
 	if err := s.advance(t); err != nil {
 		return ErrServer, false, err
 	}
-	if s.ledger.Locate(id) != nil {
+	if s.eng.ledger.Locate(id) != nil {
 		return ErrServer, false, failf(ErrDuplicateJob, "packing: job %d already running", id)
 	}
 	it := item.Item{ID: id, Size: size, Sizes: sizes, Arrival: t, Departure: math.Inf(1)}
-	if !(size > 0) || size > s.ledger.Capacity()+bins.Eps {
-		return ErrServer, false, failf(ErrBadDemand, "packing: job %d size %g cannot fit any server of capacity %g", id, size, s.ledger.Capacity())
+	b, opened, err := s.eng.arrive(it, t, nil)
+	if err != nil {
+		return ErrServer, false, err
 	}
-	if it.Dim() != s.ledger.Dim() {
-		return ErrServer, false, failf(ErrBadDemand, "packing: job %d has dim %d, stream has dim %d", id, it.Dim(), s.ledger.Dim())
-	}
-	// The scalar check above only constrains size; a vector demand with a
-	// single oversized (or negative / NaN) component would sail past it
-	// and panic inside Bin.Place, so admit per dimension here.
-	for d, c := range sizes {
-		if !(c >= 0) || c > s.ledger.Capacity()+bins.Eps {
-			return ErrServer, false, failf(ErrBadDemand, "packing: job %d demand %g in dim %d cannot fit any server of capacity %g", id, c, d, s.ledger.Capacity())
-		}
-	}
-	b := s.algo.Place(view(it, t), s.ledger.OpenBins())
-	lobs, _ := s.algo.(levelObserver)
-	if b == nil {
-		b = s.ledger.OpenNew(it, t)
-		if obs, ok := s.algo.(binOpenObserver); ok {
-			obs.BinOpened(b)
-		}
-		if lobs != nil {
-			lobs.ItemPlaced(b)
-		}
-		return b.Index, true, nil
-	}
-	if !b.IsOpen() || !b.Fits(it) {
-		return ErrServer, false, failf(ErrPolicyMisplace, "packing: policy %s returned unusable bin %d for job %d", s.algo.Name(), b.Index, id)
-	}
-	s.ledger.PlaceIn(b, it, t)
-	if lobs != nil {
-		lobs.ItemPlaced(b)
-	}
-	return b.Index, false, nil
+	return b.Index, opened, nil
 }
 
 // Depart reports that the job left at time t. It returns the server index
@@ -109,13 +87,10 @@ func (s *Stream) Depart(id item.ID, t float64) (server int, closed bool, err err
 	if err := s.advance(t); err != nil {
 		return ErrServer, false, err
 	}
-	if s.ledger.Locate(id) == nil {
+	if s.eng.ledger.Locate(id) == nil {
 		return ErrServer, false, failf(ErrUnknownJob, "packing: job %d is not running", id)
 	}
-	b, closed := s.ledger.Remove(id, t)
-	if lobs, ok := s.algo.(levelObserver); ok {
-		lobs.ItemRemoved(b)
-	}
+	b, closed := s.eng.depart(id, t)
 	return b.Index, closed, nil
 }
 
@@ -128,7 +103,7 @@ func (s *Stream) advance(t float64) error {
 	}
 	s.now = t
 	s.nEvent++
-	s.ledger.CloseExpired(t)
+	s.eng.ledger.CloseExpired(t)
 	return nil
 }
 
@@ -136,26 +111,34 @@ func (s *Stream) advance(t float64) error {
 func (s *Stream) Now() float64 { return s.now }
 
 // OpenServers returns the number of currently running servers.
-func (s *Stream) OpenServers() int { return s.ledger.NumOpen() }
+func (s *Stream) OpenServers() int { return s.eng.ledger.NumOpen() }
 
 // ServersUsed returns the total number of servers ever opened.
-func (s *Stream) ServersUsed() int { return s.ledger.NumOpened() }
+func (s *Stream) ServersUsed() int { return s.eng.ledger.NumOpened() }
 
 // PeakServers returns the maximum number of simultaneously open servers.
-func (s *Stream) PeakServers() int { return s.ledger.MaxConcurrentOpen() }
+func (s *Stream) PeakServers() int { return s.eng.ledger.MaxConcurrentOpen() }
 
 // AccumulatedUsage returns the total server usage time up to time now
 // (open servers accrue usage up to now). This is the quantity the cloud
 // tenant pays for under idealized (continuous) pay-as-you-go billing.
-func (s *Stream) AccumulatedUsage(now float64) float64 { return s.ledger.TotalUsage(now) }
+func (s *Stream) AccumulatedUsage(now float64) float64 { return s.eng.ledger.TotalUsage(now) }
 
 // Ledger exposes the underlying bin ledger for inspection (read-only use).
-func (s *Stream) Ledger() *bins.Ledger { return s.ledger }
+func (s *Stream) Ledger() *bins.Ledger { return s.eng.ledger }
+
+// Policy returns the name of the placement policy driving the stream.
+func (s *Stream) Policy() string { return s.eng.algo.Name() }
+
+// Engine returns the engine kind ("indexed" or "linear") the stream's
+// placements run on — surfaced per shard by the allocation service's
+// stats endpoint.
+func (s *Stream) Engine() string { return string(s.eng.kind) }
 
 // Shutdown closes every lingering server at its natural expiry (used
 // when a keep-alive stream drains). Servers still holding jobs are
 // untouched; it returns the number of servers still running.
 func (s *Stream) Shutdown() int {
-	s.ledger.CloseAllLingering()
-	return s.ledger.NumOpen()
+	s.eng.ledger.CloseAllLingering()
+	return s.eng.ledger.NumOpen()
 }

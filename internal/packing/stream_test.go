@@ -232,18 +232,25 @@ func TestStreamKeepAliveExpiryAtArrival(t *testing.T) {
 	}
 }
 
-// Property: FastFirstFit and FirstFit must produce identical per-job
-// assignments, event by event, on randomized keep-alive streams — the
-// oracle guarding the O(log B) ledger paths (expiry heap + binary-search
-// removal) and the segment-tree engine under lingering servers.
-func TestFastFirstFitKeepAliveStreamEquivalence(t *testing.T) {
+// Property: the linear reference engine and the indexed engine must
+// produce identical per-job assignments, event by event, on randomized
+// keep-alive streams — the oracle guarding the O(log B) ledger paths
+// (expiry heap + binary-search removal) and the BinIndex under
+// lingering servers.
+func TestIndexedLinearKeepAliveStreamEquivalence(t *testing.T) {
 	rng := rand.New(rand.NewSource(99))
 	keepAlives := []float64{0, 0.3, 1.5, 8}
 	for trial := 0; trial < 8; trial++ {
 		keepAlive := keepAlives[trial%len(keepAlives)]
 		l := randomInstance(rng, 150, 6)
-		naive := NewStreamKeepAlive(NewFirstFit(), 0, 0, keepAlive)
-		fast := NewStreamKeepAlive(NewFastFirstFit(), 0, 0, keepAlive)
+		naive, err := NewStreamEngine(NewFirstFit(), 0, 0, keepAlive, EngineLinear)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast, err := NewStreamEngine(NewFirstFit(), 0, 0, keepAlive, EngineIndexed)
+		if err != nil {
+			t.Fatal(err)
+		}
 		q := event.NewFromList(l)
 		for q.Len() > 0 {
 			e := q.Pop()
@@ -288,14 +295,13 @@ func TestFastFirstFitKeepAliveStreamEquivalence(t *testing.T) {
 }
 
 // Stream and Run must agree exactly when fed the same event sequence in
-// the simulator's order, for every policy (including the segment-tree
-// engine, which relies on the observer hooks in both paths).
+// the simulator's order, for every policy — both paths now run the same
+// unified engine, so any drift here means the shared core is broken.
 func TestStreamEquivalentToRunAcrossPolicies(t *testing.T) {
 	rng := rand.New(rand.NewSource(55))
 	for trial := 0; trial < 6; trial++ {
 		l := randomInstance(rng, 120, 8)
 		algos := Standard()
-		algos["fastff"] = NewFastFirstFit()
 		for name, algo := range algos {
 			run := MustRun(algo, l, nil)
 			s := NewStream(algo, 0, 0)

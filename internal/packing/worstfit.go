@@ -3,7 +3,7 @@ package packing
 import "dbp/internal/bins"
 
 // WorstFit places each item into the fitting open bin with the most
-// remaining capacity (lowest level), breaking ties toward the earliest
+// remaining capacity (largest gap), breaking ties toward the earliest
 // opened bin. Like Best Fit and First Fit it is a member of the Any Fit
 // family (it never opens a new bin while some open bin fits), so the
 // paper's mu+1 Any-Fit lower bound applies to it (Experiment E3).
@@ -16,19 +16,24 @@ func NewWorstFit() *WorstFit { return &WorstFit{} }
 func (*WorstFit) Name() string { return "WorstFit" }
 
 // Place returns the fitting bin with maximal gap (ties: lowest index).
-func (*WorstFit) Place(a Arrival, open []*bins.Bin) *bins.Bin {
-	var best *bins.Bin
-	bestGap := 0.0
-	for _, b := range open {
-		if !fits(b, a) {
-			continue
+func (*WorstFit) Place(a Arrival, f Fleet) *bins.Bin {
+	if len(a.Sizes) > 0 {
+		var best *bins.Bin
+		for _, b := range f.Open() {
+			if !fits(b, a) {
+				continue
+			}
+			if best == nil || b.Gap() > best.Gap() {
+				best = b
+			}
 		}
-		if best == nil || b.Gap() > bestGap+bins.Eps {
-			best, bestGap = b, b.Gap()
-		}
+		return best
 	}
-	return best
+	return f.EmptiestFitting(a.need())
 }
+
+// BinOpened implements Algorithm; Worst Fit tracks no bin state.
+func (*WorstFit) BinOpened(*bins.Bin) {}
 
 // Reset implements Algorithm; Worst Fit is stateless.
 func (*WorstFit) Reset() {}

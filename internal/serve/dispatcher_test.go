@@ -97,6 +97,15 @@ func TestDispatcherStressReconciles(t *testing.T) {
 			if stats.Arrivals != stats.Departures {
 				t.Fatalf("arrivals %d != departures %d after full drain", stats.Arrivals, stats.Departures)
 			}
+			if stats.Engine != "indexed" {
+				t.Fatalf("service engine = %q, want indexed", stats.Engine)
+			}
+			for _, sh := range stats.PerShard {
+				if sh.Policy != "FirstFit" || sh.Engine != "indexed" {
+					t.Fatalf("shard %d reports policy %q engine %q, want FirstFit/indexed",
+						sh.Shard, sh.Policy, sh.Engine)
+				}
+			}
 			if stats.Rejected["duplicate_job"] == 0 || stats.Rejected["unknown_job"] == 0 {
 				t.Errorf("error injection not observed in metrics: %v", stats.Rejected)
 			}

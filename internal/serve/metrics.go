@@ -74,6 +74,9 @@ type Stats struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	Shards        int     `json:"shards"`
 	Algorithm     string  `json:"algorithm"`
+	// Engine is the placement engine kind every shard runs ("indexed"
+	// or "linear"); the service always uses the default indexed engine.
+	Engine string `json:"engine"`
 
 	Arrivals   uint64 `json:"arrivals"`
 	Departures uint64 `json:"departures"`
@@ -99,7 +102,11 @@ type Stats struct {
 
 // ShardStats is one shard's contribution to Stats.
 type ShardStats struct {
-	Shard       int     `json:"shard"`
+	Shard int `json:"shard"`
+	// Policy is the shard's policy display name (packing.Algorithm.Name),
+	// and Engine the placement engine kind it runs ("indexed"/"linear").
+	Policy      string  `json:"policy"`
+	Engine      string  `json:"engine"`
 	Clock       float64 `json:"clock"` // last event time fed to the shard
 	Events      int     `json:"events"`
 	OpenServers int     `json:"open_servers"`
@@ -142,9 +149,12 @@ func (d *Dispatcher) Stats() Stats {
 	for i, sh := range d.shards {
 		sh.mu.Lock()
 		snap := sh.stream.Snapshot()
+		policy, engine := sh.stream.Policy(), sh.stream.Engine()
 		sh.mu.Unlock()
 		s.PerShard[i] = ShardStats{
 			Shard:       i,
+			Policy:      policy,
+			Engine:      engine,
 			Clock:       snap.Now,
 			Events:      snap.Events,
 			OpenServers: snap.OpenServers,
@@ -156,6 +166,7 @@ func (d *Dispatcher) Stats() Stats {
 		s.ServersUsed += snap.ServersUsed
 		s.PeakServers += snap.PeakServers
 		s.UsageTime += snap.UsageTime
+		s.Engine = engine
 	}
 	if s.UptimeSeconds > 0 {
 		s.EventsPerSecond = float64(s.Arrivals+s.Departures) / s.UptimeSeconds
