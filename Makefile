@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test quick race vet fmt check serve equivalence bench-ledger bench-ledger-check bench-fleet figures loadtest loadtest-short loadtest-ramp
+.PHONY: build test quick race vet fmt check serve equivalence bench-ledger bench-ledger-check bench-fleet figures loadtest loadtest-short loadtest-ramp sweep sweep-short
 
 build:
 	$(GO) build ./...
@@ -44,6 +44,22 @@ loadtest-short:
 ## loadtest-ramp: find the max rate a running dbpserved sustains under a 5ms p99 SLO
 loadtest-ramp:
 	$(GO) run ./cmd/dbpload -target http -addr localhost:8080 -ramp -slo-p99 5ms -o BENCH_serve.json
+
+## sweep: regenerate BENCH_scale.json — the shards × GOMAXPROCS × rate
+## scaling surface of the in-process dispatcher
+sweep:
+	$(GO) run ./cmd/dbpload -target inproc -sweep -sweep-shards 1,2,4 -sweep-procs 1,2,4 \
+		-sweep-rates 50000,200000,800000 -warmup 1s -measure 3s -jobs 100000 -o BENCH_scale.json
+
+## sweep-short: seconds-scale sweep diffed against the committed baseline;
+## exits 2 on a per-configuration throughput regression. The grid covers the
+## same shards × procs configurations as the baseline (CompareScale treats a
+## missing configuration as a failure) with a trimmed rate axis; the wide
+## tolerance absorbs CI machine noise while catching a contention-class slip.
+sweep-short:
+	$(GO) run ./cmd/dbpload -target inproc -sweep -sweep-shards 1,2,4 -sweep-procs 1,2,4 \
+		-sweep-rates 20000,200000 -warmup 300ms -measure 1s -jobs 50000 \
+		-o BENCH_scale.new.json -compare BENCH_scale.json -tolerance 60
 
 ## equivalence: the cross-engine oracle (indexed vs linear, every policy,
 ## Run and Stream paths) under the race detector

@@ -17,6 +17,11 @@
 //	# find the max rate sustaining a 5ms p99
 //	dbpload -target http -addr localhost:8080 -ramp -slo-p99 5ms
 //
+//	# multi-core scaling sweep: shards × GOMAXPROCS × rate over the
+//	# in-process dispatcher → BENCH_scale.json, gated like the ledger
+//	dbpload -sweep -sweep-shards 1,2,4 -sweep-procs 1,2,4 -sweep-rates 50000,400000
+//	dbpload -sweep -compare BENCH_scale.json
+//
 // Exit codes: 0 success, 1 usage/run error, 2 regression detected by
 // -compare.
 package main
@@ -26,6 +31,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"dbp/internal/load"
@@ -51,11 +58,12 @@ func main() {
 		seed      = flag.Int64("seed", 1, "workload seed")
 		dim       = flag.Int("dim", 1, "demand dimensionality (>1 = vector jobs)")
 
-		algo      = flag.String("algo", "firstfit", "inproc: packing policy")
-		shards    = flag.Int("shards", 0, "inproc: dispatcher shards (0 = GOMAXPROCS)")
-		keepAlive = flag.Float64("keepalive", 0, "inproc: keep emptied servers open this many time units")
+		algo       = flag.String("algo", "firstfit", "inproc: packing policy")
+		shards     = flag.Int("shards", 0, "inproc: dispatcher shards (0 = GOMAXPROCS)")
+		keepAlive  = flag.Float64("keepalive", 0, "inproc: keep emptied servers open this many time units")
+		queueDepth = flag.Int("queue-depth", 0, "inproc: per-shard request queue depth (0 = default)")
 
-		out     = flag.String("o", "BENCH_serve.json", "results file to write")
+		out     = flag.String("o", "", "results file to write (default BENCH_serve.json, or BENCH_scale.json with -sweep)")
 		compare = flag.String("compare", "", "baseline results file; exit 2 if p99/throughput regress past -tolerance")
 		tol     = flag.Float64("tolerance", 25, "regression tolerance for -compare, percent")
 
@@ -64,18 +72,95 @@ func main() {
 		rampStart = flag.Float64("ramp-start", 500, "ramp: starting rate, ops/s")
 		rampMax   = flag.Float64("ramp-max", 512000, "ramp: rate ceiling, ops/s")
 		rampProbe = flag.Duration("ramp-probe", 3*time.Second, "ramp: measure window per probe")
+
+		sweep       = flag.Bool("sweep", false, "run the shards × GOMAXPROCS × rate scaling sweep (in-process target)")
+		sweepShards = flag.String("sweep-shards", "1,2,4", "sweep: comma-separated shard counts")
+		sweepProcs  = flag.String("sweep-procs", "1,2,4", "sweep: comma-separated GOMAXPROCS values")
+		sweepRates  = flag.String("sweep-rates", "50000,200000,800000", "sweep: comma-separated open-loop rates, ops/s")
 	)
 	flag.Parse()
+	if *out == "" {
+		if *sweep {
+			*out = "BENCH_scale.json"
+		} else {
+			*out = "BENCH_serve.json"
+		}
+	}
 
 	script, err := load.GenerateScript(load.WorkloadName(*wl), *jobs, *traceRate, *mu, *seed, *dim)
 	if err != nil {
 		log.Fatal(err)
 	}
+	workloadLabel := fmt.Sprintf("%s jobs=%d mu=%g trace-rate=%g seed=%d dim=%d",
+		*wl, *jobs, *mu, *traceRate, *seed, *dim)
+
+	if *sweep {
+		if *target != "inproc" {
+			log.Fatalf("dbpload: -sweep measures the in-process dispatcher; -target %q is not supported", *target)
+		}
+		shardsList, err := parseInts(*sweepShards)
+		if err != nil {
+			log.Fatalf("dbpload: -sweep-shards: %v", err)
+		}
+		procsList, err := parseInts(*sweepProcs)
+		if err != nil {
+			log.Fatalf("dbpload: -sweep-procs: %v", err)
+		}
+		ratesList, err := parseFloats(*sweepRates)
+		if err != nil {
+			log.Fatalf("dbpload: -sweep-rates: %v", err)
+		}
+		rep, err := load.RunSweep(load.SweepOptions{
+			Shards:        shardsList,
+			Procs:         procsList,
+			Rates:         ratesList,
+			Algorithm:     *algo,
+			Dim:           *dim,
+			KeepAlive:     *keepAlive,
+			QueueDepth:    *queueDepth,
+			Script:        script,
+			Warmup:        *warmup,
+			Measure:       *measure,
+			Drain:         *drain,
+			Clients:       *clients,
+			WorkloadLabel: workloadLabel,
+			Logf:          log.Printf,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("dbpload: scaling (baseline %.0f ops/s at 1 shard / 1 proc, %d cpus):",
+			rep.BaselineOpsPerSec, rep.Config.NumCPU)
+		for _, p := range rep.Scaling {
+			log.Printf("  shards=%-2d procs=%-2d best %8.0f ops/s  efficiency %.2f (over %d effective cores)",
+				p.Shards, p.Procs, p.BestOpsPerSec, p.Efficiency, p.EffectiveCores)
+		}
+		if *out != "" {
+			if err := rep.WriteFile(*out); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("dbpload: wrote %s", *out)
+		}
+		if *compare != "" {
+			base, err := load.ReadScaleReport(*compare)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if bad := load.CompareScale(base, rep, *tol); len(bad) > 0 {
+				for _, b := range bad {
+					log.Printf("dbpload: REGRESSION vs %s: %s", *compare, b)
+				}
+				os.Exit(2)
+			}
+			log.Printf("dbpload: no regression vs %s (tolerance %g%%)", *compare, *tol)
+		}
+		return
+	}
 
 	var tgt load.Target
 	switch *target {
 	case "inproc":
-		d, err := serve.New(serve.Config{Algorithm: *algo, Shards: *shards, Dim: *dim, KeepAlive: *keepAlive})
+		d, err := serve.New(serve.Config{Algorithm: *algo, Shards: *shards, Dim: *dim, KeepAlive: *keepAlive, QueueDepth: *queueDepth})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -92,17 +177,16 @@ func main() {
 	}
 
 	opts := load.Options{
-		Target:  tgt,
-		Script:  script,
-		Mode:    load.Mode(*mode),
-		Rate:    *rate,
-		Clients: *clients,
-		Think:   *think,
-		Warmup:  *warmup,
-		Measure: *measure,
-		Drain:   *drain,
-		WorkloadLabel: fmt.Sprintf("%s jobs=%d mu=%g trace-rate=%g seed=%d dim=%d",
-			*wl, *jobs, *mu, *traceRate, *seed, *dim),
+		Target:        tgt,
+		Script:        script,
+		Mode:          load.Mode(*mode),
+		Rate:          *rate,
+		Clients:       *clients,
+		Think:         *think,
+		Warmup:        *warmup,
+		Measure:       *measure,
+		Drain:         *drain,
+		WorkloadLabel: workloadLabel,
 	}
 
 	var rep *load.Report
@@ -170,6 +254,32 @@ func main() {
 		}
 		log.Printf("dbpload: no regression vs %s (tolerance %g%%)", *compare, *tol)
 	}
+}
+
+// parseInts parses a comma-separated list of positive integers.
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q: %w", f, err)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// parseFloats parses a comma-separated list of rates.
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q: %w", f, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 // summarize prints the human-readable digest of a run.

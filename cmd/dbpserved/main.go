@@ -42,6 +42,7 @@ func main() {
 		capacity  = flag.Float64("capacity", 1, "per-dimension server capacity")
 		dim       = flag.Int("dim", 1, "resource dimensionality")
 		keepAlive = flag.Float64("keepalive", 0, "keep emptied servers open this many time units")
+		queue     = flag.Int("queue-depth", 0, "per-shard request queue depth (0 = default); bounds memory under overload")
 		grace     = flag.Duration("grace", 10*time.Second, "shutdown grace period for in-flight requests")
 
 		// Connection hygiene: without these a slow (or hostile) client
@@ -60,11 +61,12 @@ func main() {
 	}
 
 	d, err := serve.New(serve.Config{
-		Algorithm: *algo,
-		Shards:    *shards,
-		Capacity:  *capacity,
-		Dim:       *dim,
-		KeepAlive: *keepAlive,
+		Algorithm:  *algo,
+		Shards:     *shards,
+		Capacity:   *capacity,
+		Dim:        *dim,
+		KeepAlive:  *keepAlive,
+		QueueDepth: *queue,
 	})
 	if err != nil {
 		log.Fatal(err)

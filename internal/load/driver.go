@@ -99,8 +99,11 @@ type clientResult struct {
 	warmOps    uint64
 	measOps    uint64
 	drainOps   uint64
-	leaked     int // jobs still active when the drain deadline hit
-	drainDur   time.Duration
+	leaked     int // jobs not drained: depart failed or the deadline hit
+	// drainStart/drainEnd bound this client's drain activity; the
+	// report derives the drain phase's wall-clock window from the
+	// earliest start and latest end across clients.
+	drainStart, drainEnd time.Time
 }
 
 func newClientResult() *clientResult {
@@ -251,18 +254,19 @@ func (r *runner) client(c int, res *clientResult) {
 
 	// Drain: depart everything this client still holds, so the
 	// service ends the run empty and a follow-up run (ramp probe)
-	// starts from a clean fleet.
-	drainStart := time.Now()
-	deadline := drainStart.Add(r.o.Drain)
+	// starts from a clean fleet. A failed depart stays in active and
+	// counts as leaked — the job really is still occupying a server.
+	res.drainStart = time.Now()
+	deadline := res.drainStart.Add(r.o.Drain)
 	for id := range active {
 		if time.Now().After(deadline) {
 			break
 		}
 		if err := r.o.Target.Depart(id, nil); err == nil {
 			res.drainOps++
+			delete(active, id)
 		}
-		delete(active, id)
 	}
 	res.leaked = len(active)
-	res.drainDur = time.Since(drainStart)
+	res.drainEnd = time.Now()
 }

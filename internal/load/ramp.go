@@ -98,9 +98,11 @@ func RampSearch(base Options, ro RampOptions) (*RampResult, error) {
 		return p, nil
 	}
 
-	// Doubling phase.
+	// Doubling phase. The last doubling step is clamped to Max, so Max
+	// itself is always probed when every smaller rate passed (Start=1000,
+	// Max=3000 probes 1000, 2000, 3000 — not 1000, 2000, stop).
 	var good, bad float64
-	for rate := ro.Start; rate <= ro.Max; rate *= 2 {
+	for rate := ro.Start; ; {
 		p, err := probe(rate)
 		if err != nil {
 			return nil, err
@@ -110,6 +112,12 @@ func RampSearch(base Options, ro RampOptions) (*RampResult, error) {
 			break
 		}
 		good = rate
+		if rate >= ro.Max {
+			break
+		}
+		if rate *= 2; rate > ro.Max {
+			rate = ro.Max
+		}
 	}
 	if good == 0 {
 		res.MaxSustainable = 0 // even Start failed

@@ -1,0 +1,328 @@
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"dbp/internal/serve"
+)
+
+// ScaleSchema identifies the BENCH_scale.json layout; bump on breaking
+// changes so CompareScale refuses to diff incompatible files.
+const ScaleSchema = "dbp-scale/v1"
+
+// SweepOptions configures a multi-core scaling sweep: every
+// shards × procs × rate cell runs one open-loop load.Run against a
+// fresh in-process dispatcher, so cells are independent measurements.
+type SweepOptions struct {
+	// Shards, Procs, Rates span the grid. Procs values set GOMAXPROCS
+	// for their cells (restored after the sweep); Rates are open-loop
+	// targets in ops/s — include one well above the expected ceiling so
+	// the sweep finds each configuration's saturation throughput.
+	Shards []int
+	Procs  []int
+	Rates  []float64
+
+	// Dispatcher configuration for every cell.
+	Algorithm  string
+	Dim        int
+	KeepAlive  float64
+	QueueDepth int
+
+	// Script and the per-cell phase windows, as in Options.
+	Script                 *Script
+	Warmup, Measure, Drain time.Duration
+	// Clients is the per-cell client count; 0 means the open-loop
+	// default (4×GOMAXPROCS, which tracks the cell's procs value).
+	Clients int
+
+	WorkloadLabel string
+	// Logf, when non-nil, receives one progress line per cell.
+	Logf func(format string, args ...any)
+}
+
+// ScaleConfig echoes the sweep configuration into the results file.
+type ScaleConfig struct {
+	Workload   string  `json:"workload"`
+	Algorithm  string  `json:"algorithm"`
+	WarmupSec  float64 `json:"warmup_sec"`
+	MeasureSec float64 `json:"measure_sec"`
+	QueueDepth int     `json:"queue_depth"`
+	// NumCPU is the machine's usable core count at sweep time; scaling
+	// efficiency is normalized by min(procs, NumCPU) — a machine
+	// cannot scale past its cores, so the metric isolates dispatcher
+	// contention from hardware limits.
+	NumCPU int `json:"num_cpu"`
+}
+
+// ScaleCell is one grid cell's measurement.
+type ScaleCell struct {
+	Shards int     `json:"shards"`
+	Procs  int     `json:"procs"`
+	Rate   float64 `json:"rate"`
+	// Achieved is the measure-phase throughput in ops/s; well below
+	// Rate means the cell ran saturated and Achieved is the ceiling.
+	Achieved    float64           `json:"achieved_ops_per_sec"`
+	P99ArriveUS float64           `json:"p99_arrive_us"`
+	P99DepartUS float64           `json:"p99_depart_us"`
+	Leaked      int               `json:"leaked,omitempty"`
+	Errors      map[string]uint64 `json:"errors,omitempty"`
+}
+
+// ScalePoint is the scaling summary of one shards × procs
+// configuration: its best throughput across the swept rates and the
+// derived scaling efficiency.
+type ScalePoint struct {
+	Shards        int     `json:"shards"`
+	Procs         int     `json:"procs"`
+	BestOpsPerSec float64 `json:"best_ops_per_sec"`
+	// EffectiveCores is min(procs, NumCPU): the parallelism the
+	// hardware can actually grant this configuration.
+	EffectiveCores int `json:"effective_cores"`
+	// Efficiency is BestOpsPerSec / (EffectiveCores × baseline), the
+	// fraction of ideal linear scaling the dispatcher delivers; 1.0 is
+	// perfect, and values are meaningful even when procs exceeds the
+	// machine's cores (the denominator stops growing with them).
+	Efficiency float64 `json:"efficiency"`
+}
+
+// ScaleReport is the BENCH_scale.json document.
+type ScaleReport struct {
+	Schema  string       `json:"schema"`
+	Config  ScaleConfig  `json:"config"`
+	Cells   []ScaleCell  `json:"cells"`
+	Scaling []ScalePoint `json:"scaling"`
+	// BaselineOpsPerSec is the best throughput of the 1-shard,
+	// 1-proc configuration — the single-core sequential reference all
+	// efficiencies are computed against.
+	BaselineOpsPerSec float64  `json:"baseline_ops_per_sec"`
+	Notes             []string `json:"notes,omitempty"`
+}
+
+// RunSweep measures the dispatcher's scaling surface: for every
+// shards × procs × rate cell it builds a fresh in-process dispatcher,
+// drives one open-loop run, and records throughput and p99 latency;
+// the per-configuration bests are then folded into scaling-efficiency
+// points. GOMAXPROCS is mutated per cell (it is process-global — do
+// not run concurrent sweeps) and restored before returning.
+func RunSweep(o SweepOptions) (*ScaleReport, error) {
+	if len(o.Shards) == 0 || len(o.Procs) == 0 || len(o.Rates) == 0 {
+		return nil, fmt.Errorf("load: sweep needs non-empty Shards, Procs, and Rates")
+	}
+	for _, s := range o.Shards {
+		if s < 1 {
+			return nil, fmt.Errorf("load: sweep shard count %d < 1", s)
+		}
+	}
+	for _, p := range o.Procs {
+		if p < 1 {
+			return nil, fmt.Errorf("load: sweep procs %d < 1", p)
+		}
+	}
+	for _, r := range o.Rates {
+		if r <= 0 {
+			return nil, fmt.Errorf("load: sweep rate %g <= 0", r)
+		}
+	}
+	if o.Script == nil || len(o.Script.Ops) == 0 {
+		return nil, fmt.Errorf("load: sweep Options.Script is empty")
+	}
+
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	rep := &ScaleReport{
+		Schema: ScaleSchema,
+		Config: ScaleConfig{
+			Workload:   o.WorkloadLabel,
+			Algorithm:  o.Algorithm,
+			WarmupSec:  o.Warmup.Seconds(),
+			MeasureSec: o.Measure.Seconds(),
+			QueueDepth: o.QueueDepth,
+			NumCPU:     runtime.NumCPU(),
+		},
+	}
+	for _, procs := range o.Procs {
+		runtime.GOMAXPROCS(procs)
+		for _, shards := range o.Shards {
+			for _, rate := range o.Rates {
+				cell, err := runCell(o, shards, procs, rate)
+				if err != nil {
+					return nil, fmt.Errorf("load: sweep cell shards=%d procs=%d rate=%g: %w",
+						shards, procs, rate, err)
+				}
+				rep.Cells = append(rep.Cells, cell)
+				if o.Logf != nil {
+					o.Logf("sweep: shards=%d procs=%d rate=%.0f: achieved %.0f ops/s, p99 arrive %.0fus depart %.0fus",
+						shards, procs, rate, cell.Achieved, cell.P99ArriveUS, cell.P99DepartUS)
+				}
+			}
+		}
+	}
+	runtime.GOMAXPROCS(prev)
+	rep.fold()
+	return rep, nil
+}
+
+// runCell executes one grid cell against a fresh dispatcher.
+func runCell(o SweepOptions, shards, procs int, rate float64) (ScaleCell, error) {
+	d, err := serve.New(serve.Config{
+		Algorithm:  o.Algorithm,
+		Shards:     shards,
+		Dim:        o.Dim,
+		KeepAlive:  o.KeepAlive,
+		QueueDepth: o.QueueDepth,
+	})
+	if err != nil {
+		return ScaleCell{}, err
+	}
+	defer d.Close()
+	run, err := Run(Options{
+		Target:        &InProc{D: d},
+		Script:        o.Script,
+		Mode:          ModeOpen,
+		Rate:          rate,
+		Clients:       o.Clients,
+		Warmup:        o.Warmup,
+		Measure:       o.Measure,
+		Drain:         o.Drain,
+		WorkloadLabel: o.WorkloadLabel,
+	})
+	if err != nil {
+		return ScaleCell{}, err
+	}
+	cell := ScaleCell{
+		Shards:      shards,
+		Procs:       procs,
+		Rate:        rate,
+		Achieved:    run.AchievedRate,
+		P99ArriveUS: run.Ops[OpArrive.String()].Latency.P99US,
+		P99DepartUS: run.Ops[OpDepart.String()].Latency.P99US,
+		Leaked:      run.Phases["drain"].Leaked,
+	}
+	for _, op := range run.Ops {
+		for code, n := range op.Errors {
+			if cell.Errors == nil {
+				cell.Errors = make(map[string]uint64)
+			}
+			cell.Errors[code] += n
+		}
+	}
+	return cell, nil
+}
+
+// fold condenses the cell grid into per-configuration scaling points
+// and computes efficiencies against the 1-shard/1-proc baseline (or,
+// when the grid does not include it, the smallest configuration swept,
+// with a note).
+func (r *ScaleReport) fold() {
+	type key struct{ shards, procs int }
+	best := make(map[key]float64)
+	for _, c := range r.Cells {
+		k := key{c.Shards, c.Procs}
+		if c.Achieved > best[k] {
+			best[k] = c.Achieved
+		}
+	}
+	keys := make([]key, 0, len(best))
+	for k := range best {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].procs != keys[j].procs {
+			return keys[i].procs < keys[j].procs
+		}
+		return keys[i].shards < keys[j].shards
+	})
+
+	base, ok := best[key{1, 1}]
+	if !ok {
+		k := keys[0]
+		base = best[k]
+		r.Notes = append(r.Notes, fmt.Sprintf(
+			"grid has no shards=1/procs=1 cell; efficiencies are relative to shards=%d/procs=%d", k.shards, k.procs))
+	}
+	r.BaselineOpsPerSec = base
+	for _, k := range keys {
+		eff := 0.0
+		cores := k.procs
+		if n := r.Config.NumCPU; cores > n {
+			cores = n
+		}
+		if base > 0 && cores > 0 {
+			eff = best[k] / (float64(cores) * base)
+		}
+		r.Scaling = append(r.Scaling, ScalePoint{
+			Shards:         k.shards,
+			Procs:          k.procs,
+			BestOpsPerSec:  best[k],
+			EffectiveCores: cores,
+			Efficiency:     eff,
+		})
+	}
+}
+
+// WriteFile writes the scale report as indented JSON (deterministic
+// for identical results, like Report.WriteFile).
+func (r *ScaleReport) WriteFile(path string) error {
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// ReadScaleReport loads a results file written by ScaleReport.WriteFile.
+func ReadScaleReport(path string) (*ScaleReport, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r ScaleReport
+	if err := json.Unmarshal(buf, &r); err != nil {
+		return nil, fmt.Errorf("load: %s: %w", path, err)
+	}
+	if r.Schema != ScaleSchema {
+		return nil, fmt.Errorf("load: %s: schema %q, want %q", path, r.Schema, ScaleSchema)
+	}
+	return &r, nil
+}
+
+// CompareScale diffs a new scale report against a baseline and returns
+// one violation string per scaling point whose best throughput
+// regressed beyond tolPct percent (points only the baseline has are
+// flagged too — a shrunken grid must be deliberate). Efficiency is
+// derived from the same numbers, so throughput is the gated quantity;
+// absolute values vary across machines, which is what the tolerance
+// absorbs.
+func CompareScale(old, new *ScaleReport, tolPct float64) []string {
+	var bad []string
+	find := func(r *ScaleReport, shards, procs int) *ScalePoint {
+		for i := range r.Scaling {
+			if r.Scaling[i].Shards == shards && r.Scaling[i].Procs == procs {
+				return &r.Scaling[i]
+			}
+		}
+		return nil
+	}
+	for _, o := range old.Scaling {
+		n := find(new, o.Shards, o.Procs)
+		if n == nil {
+			bad = append(bad, fmt.Sprintf("shards=%d/procs=%d: missing from new report", o.Shards, o.Procs))
+			continue
+		}
+		if o.BestOpsPerSec <= 0 {
+			continue
+		}
+		pct := (o.BestOpsPerSec - n.BestOpsPerSec) / o.BestOpsPerSec * 100
+		if pct > tolPct {
+			bad = append(bad, fmt.Sprintf("shards=%d/procs=%d throughput regressed %.1f%%: %.0f -> %.0f ops/s (tolerance %g%%)",
+				o.Shards, o.Procs, pct, o.BestOpsPerSec, n.BestOpsPerSec, tolPct))
+		}
+	}
+	return bad
+}

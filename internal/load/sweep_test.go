@@ -1,0 +1,117 @@
+package load
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestRunSweepGrid runs a tiny grid through the real dispatcher and
+// checks the report's structure: full cell coverage, per-configuration
+// scaling points with the effective-core normalization, and the
+// 1-shard/1-proc baseline.
+func TestRunSweepGrid(t *testing.T) {
+	rep, err := RunSweep(SweepOptions{
+		Shards:        []int{1, 2},
+		Procs:         []int{1},
+		Rates:         []float64{500, 1500},
+		Algorithm:     "firstfit",
+		Script:        testScript(t, 2000),
+		Warmup:        50 * time.Millisecond,
+		Measure:       250 * time.Millisecond,
+		Drain:         2 * time.Second,
+		Clients:       2,
+		WorkloadLabel: "uniform-test",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != ScaleSchema {
+		t.Errorf("schema %q, want %q", rep.Schema, ScaleSchema)
+	}
+	if len(rep.Cells) != 4 {
+		t.Fatalf("swept %d cells, want 2 shards × 1 procs × 2 rates = 4", len(rep.Cells))
+	}
+	for _, c := range rep.Cells {
+		if c.Achieved <= 0 {
+			t.Errorf("cell shards=%d rate=%g achieved nothing", c.Shards, c.Rate)
+		}
+		if c.Leaked != 0 {
+			t.Errorf("cell shards=%d rate=%g leaked %d jobs", c.Shards, c.Rate, c.Leaked)
+		}
+	}
+	if len(rep.Scaling) != 2 {
+		t.Fatalf("%d scaling points, want one per (shards, procs) = 2", len(rep.Scaling))
+	}
+	if rep.BaselineOpsPerSec <= 0 {
+		t.Fatal("missing 1-shard/1-proc baseline")
+	}
+	for _, p := range rep.Scaling {
+		if p.EffectiveCores < 1 || p.EffectiveCores > rep.Config.NumCPU {
+			t.Errorf("point %+v: effective cores outside [1, NumCPU=%d]", p, rep.Config.NumCPU)
+		}
+		want := p.BestOpsPerSec / (float64(p.EffectiveCores) * rep.BaselineOpsPerSec)
+		if diff := p.Efficiency - want; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("point shards=%d/procs=%d efficiency %g, want %g", p.Shards, p.Procs, p.Efficiency, want)
+		}
+	}
+	if base := rep.Scaling[0]; base.Shards != 1 || base.Procs != 1 || base.Efficiency != 1 {
+		t.Errorf("first point should be the baseline at efficiency 1.0, got %+v", base)
+	}
+
+	// Roundtrip through the results file.
+	path := filepath.Join(t.TempDir(), "scale.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadScaleReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Cells) != len(rep.Cells) || back.BaselineOpsPerSec != rep.BaselineOpsPerSec {
+		t.Errorf("roundtrip mismatch: %+v vs %+v", back, rep)
+	}
+
+	// CompareScale: identical reports pass, an injected throughput
+	// collapse and a missing point are both flagged.
+	if bad := CompareScale(rep, back, 10); len(bad) != 0 {
+		t.Errorf("self-compare flagged: %v", bad)
+	}
+	worse := *back
+	worse.Scaling = append([]ScalePoint(nil), back.Scaling...)
+	worse.Scaling[1].BestOpsPerSec = rep.Scaling[1].BestOpsPerSec / 10
+	bad := CompareScale(rep, &worse, 10)
+	if len(bad) != 1 {
+		t.Errorf("regressed point flagged %d times, want 1: %v", len(bad), bad)
+	}
+	shrunk := *back
+	shrunk.Scaling = back.Scaling[:1]
+	bad = CompareScale(rep, &shrunk, 10)
+	if len(bad) != 1 {
+		t.Errorf("missing point flagged %d times, want 1: %v", len(bad), bad)
+	}
+}
+
+// TestRunSweepValidation: malformed grids are refused up front.
+func TestRunSweepValidation(t *testing.T) {
+	script := testScript(t, 10)
+	base := SweepOptions{
+		Shards: []int{1}, Procs: []int{1}, Rates: []float64{100},
+		Script: script, Measure: 10 * time.Millisecond,
+	}
+	for name, mut := range map[string]func(*SweepOptions){
+		"no shards":  func(o *SweepOptions) { o.Shards = nil },
+		"no procs":   func(o *SweepOptions) { o.Procs = nil },
+		"no rates":   func(o *SweepOptions) { o.Rates = nil },
+		"zero shard": func(o *SweepOptions) { o.Shards = []int{0} },
+		"zero proc":  func(o *SweepOptions) { o.Procs = []int{0} },
+		"zero rate":  func(o *SweepOptions) { o.Rates = []float64{0} },
+		"no script":  func(o *SweepOptions) { o.Script = nil },
+	} {
+		o := base
+		mut(&o)
+		if _, err := RunSweep(o); err == nil {
+			t.Errorf("%s: sweep accepted a malformed grid", name)
+		}
+	}
+}

@@ -1,12 +1,13 @@
 // Package serve is the allocation-service layer: a thread-safe, sharded
 // dispatcher over packing.Stream plus the JSON/HTTP front end that
 // cmd/dbpserved mounts. Tenants (job IDs) are partitioned across N
-// independent shards by a fixed hash, each shard owning one stream
-// guarded by a mutex, so throughput scales with cores while every shard
-// keeps the paper's strictly sequential online semantics. Jobs never
-// interact across servers, so sharding the fleet preserves each
-// policy's per-shard behavior exactly; the global usage-time objective
-// is the sum over shards.
+// independent shards by a fixed hash; each shard's stream is owned by a
+// single writer goroutine fed request envelopes over a bounded channel,
+// so throughput scales with cores without any lock on the event path
+// while every shard keeps the paper's strictly sequential online
+// semantics. Jobs never interact across servers, so sharding the fleet
+// preserves each policy's per-shard behavior exactly; the global
+// usage-time objective is the sum over shards.
 package serve
 
 import (
@@ -43,6 +44,10 @@ type Config struct {
 	// RecordEvents journals every accepted event per shard (as actually
 	// applied, post clock guard) for audit and replay reconciliation.
 	RecordEvents bool
+	// QueueDepth bounds each shard's request channel (<= 0 means 1024).
+	// A full queue applies backpressure: submitters block until the
+	// shard owner catches up, so memory stays bounded under overload.
+	QueueDepth int
 	// Clock overrides the service clock (seconds since some epoch,
 	// non-decreasing). Nil means a monotonic wall clock starting at 0
 	// when the dispatcher is created. Tests inject deterministic time.
@@ -79,18 +84,72 @@ type Departure struct {
 	Time   float64 `json:"time"`
 }
 
+// opKind tags a request envelope.
+type opKind uint8
+
+const (
+	opArrive opKind = iota
+	opDepart
+	opSnapshot // control: deep-copy the shard's stream state
+)
+
+// request is one envelope on a shard's queue. The reply channel has
+// capacity 1, so the owner never blocks answering; envelopes (and
+// their reply channels) are pooled.
+type request struct {
+	kind     opKind
+	id       item.ID
+	size     float64
+	sizes    []float64 // dispatcher-owned copy, safe to retain
+	at       float64
+	assigned bool // at came from the service clock (guard may clamp)
+	reply    chan response
+}
+
+// response is the owner's answer to one envelope.
+type response struct {
+	server int
+	flag   bool // opened (arrive) / closed (depart)
+	at     float64
+	err    error
+	snap   packing.Snapshot // opSnapshot only
+}
+
+var reqPool = sync.Pool{
+	New: func() any { return &request{reply: make(chan response, 1)} },
+}
+
+// publishEvery bounds gauge staleness under sustained load: the shard
+// owner republishes its stats snapshot at least every publishEvery
+// applied envelopes, and immediately whenever its queue runs empty.
+const publishEvery = 256
+
+// shard is one single-writer partition: exactly one goroutine (run)
+// ever touches stream, log appends, and gauge stores after New
+// returns; everyone else communicates through reqs or reads the
+// atomically published gauge. The closed flag plus the inflight count
+// form the submission gate that makes closing reqs race-free.
 type shard struct {
-	mu     sync.Mutex
-	stream *packing.Stream
-	closed bool
-	log    []Event
+	reqs     chan *request
+	inflight atomic.Int64  // submitters currently between gate entry and channel send
+	closed   atomic.Bool   // no new submissions may enter the queue
+	done     chan struct{} // closed when the owner goroutine has exited
+
+	stream *packing.Stream // owned by run(); read directly only after done
+	policy string
+	engine string
+
+	gauge atomic.Pointer[ShardStats] // last published stats snapshot
+
+	logMu sync.Mutex // guards log: owner appends, ShardEvents copies
+	log   []Event
 }
 
 // guard clamps a service-assigned timestamp so it never regresses the
 // shard's stream clock: two requests can read the service clock in one
-// order and win the shard lock in the other, and a rejected event (a
-// duplicate arrive, say) still advances the stream clock before being
-// refused. Explicit caller timestamps are never rewritten.
+// order and enter the shard queue in the other, and a rejected event
+// (a duplicate arrive, say) still advances the stream clock before
+// being refused. Explicit caller timestamps are never rewritten.
 func (sh *shard) guard(at float64, assigned bool) float64 {
 	if assigned && sh.stream.Events() > 0 && at < sh.stream.Now() {
 		return sh.stream.Now()
@@ -98,8 +157,8 @@ func (sh *shard) guard(at float64, assigned bool) float64 {
 	return at
 }
 
-// Dispatcher routes jobs to shards and serializes each shard's events.
-// All methods are safe for concurrent use.
+// Dispatcher routes jobs to shards and serializes each shard's events
+// through its owner goroutine. All methods are safe for concurrent use.
 type Dispatcher struct {
 	cfg     Config
 	shards  []*shard
@@ -112,14 +171,18 @@ type Dispatcher struct {
 	final    atomic.Pointer[Stats] // set once by Close
 }
 
-// New creates a sharded dispatcher. It fails only on an unknown policy
-// name or invalid configuration.
+// New creates a sharded dispatcher and starts one owner goroutine per
+// shard. It fails only on an unknown policy name or invalid
+// configuration; Close stops the owners.
 func New(cfg Config) (*Dispatcher, error) {
 	if cfg.Algorithm == "" {
 		cfg.Algorithm = "firstfit"
 	}
 	if cfg.Shards <= 0 {
 		cfg.Shards = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 1024
 	}
 	if cfg.KeepAlive < 0 {
 		return nil, fmt.Errorf("serve: negative keep-alive %g", cfg.KeepAlive)
@@ -131,14 +194,24 @@ func New(cfg Config) (*Dispatcher, error) {
 		if err != nil {
 			return nil, err
 		}
-		d.shards[i] = &shard{stream: packing.NewStreamKeepAlive(algo, cfg.Capacity, cfg.Dim, cfg.KeepAlive)}
+		sh := &shard{
+			reqs:   make(chan *request, cfg.QueueDepth),
+			done:   make(chan struct{}),
+			stream: packing.NewStreamKeepAlive(algo, cfg.Capacity, cfg.Dim, cfg.KeepAlive),
+		}
+		sh.policy, sh.engine = sh.stream.Policy(), sh.stream.Engine()
+		sh.publish(i)
+		d.shards[i] = sh
 	}
 	d.clock = cfg.Clock
 	if d.clock == nil {
 		// time.Since reads Go's monotonic clock, immune to wall-clock
 		// steps; the per-shard guard below still clamps the residual
-		// race between reading the clock and winning the shard lock.
+		// race between reading the clock and entering the shard queue.
 		d.clock = func() float64 { return time.Since(d.start).Seconds() }
+	}
+	for i, sh := range d.shards {
+		go d.run(i, sh)
 	}
 	return d, nil
 }
@@ -164,7 +237,7 @@ func (d *Dispatcher) ShardFor(id item.ID) int {
 // resolveTime picks the event time: the caller's explicit timestamp if
 // t is non-nil, else the service clock. assigned reports the latter, in
 // which case the shard guard may clamp it forward (service-clock reads
-// racing for the shard lock may arrive out of order); explicit caller
+// racing into the shard queue may arrive out of order); explicit caller
 // timestamps are never silently rewritten — a regression there is the
 // caller's error and surfaces as packing.ErrTimeRegression.
 func (d *Dispatcher) resolveTime(t *float64) (float64, bool) {
@@ -174,34 +247,55 @@ func (d *Dispatcher) resolveTime(t *float64) (float64, bool) {
 	return d.clock(), true
 }
 
+// submit enqueues an envelope on the shard and waits for the owner's
+// reply. The inflight/closed pair is the drain gate: Close first flips
+// closed (new submissions bounce with ErrClosed), then waits for the
+// inflight count to hit zero before closing the channel — so a
+// submitter that passed the gate always has a live receiver and every
+// envelope that entered the queue is answered. ok=false means the
+// envelope never entered the queue.
+func (sh *shard) submit(req *request) (response, bool) {
+	sh.inflight.Add(1)
+	if sh.closed.Load() {
+		sh.inflight.Add(-1)
+		putRequest(req)
+		return response{}, false
+	}
+	sh.reqs <- req
+	sh.inflight.Add(-1)
+	resp := <-req.reply
+	putRequest(req)
+	return resp, true
+}
+
+func putRequest(req *request) {
+	req.sizes = nil // the journal/stream own the copied slice now
+	reqPool.Put(req)
+}
+
 // Arrive dispatches a job to its shard. A nil t means "now" (service
 // clock). On error the returned Placement is zero-valued.
 func (d *Dispatcher) Arrive(id item.ID, size float64, sizes []float64, t *float64) (Placement, error) {
 	defer d.metrics.observeArrive(time.Now())
 	at, assigned := d.resolveTime(t)
 	si := d.ShardFor(id)
-	sh := d.shards[si]
-
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	if sh.closed {
+	if len(sizes) > 0 {
+		// Copy once at the API boundary: the stream's ledger and the
+		// journal both retain the demand vector beyond this call, and
+		// callers are free to reuse their slice.
+		sizes = append([]float64(nil), sizes...)
+	}
+	req := reqPool.Get().(*request)
+	req.kind, req.id, req.size, req.sizes, req.at, req.assigned = opArrive, id, size, sizes, at, assigned
+	resp, ok := d.shards[si].submit(req)
+	if !ok {
 		d.metrics.reject(ErrClosed)
 		return Placement{}, ErrClosed
 	}
-	at = sh.guard(at, assigned)
-	server, opened, err := sh.stream.Arrive(id, size, sizes, at)
-	if err != nil {
-		d.metrics.reject(err)
-		return Placement{}, err
+	if resp.err != nil {
+		return Placement{}, resp.err
 	}
-	d.metrics.arrivals.Add(1)
-	if opened {
-		d.metrics.serversOpened.Add(1)
-	}
-	if d.cfg.RecordEvents {
-		sh.log = append(sh.log, Event{Kind: "arrive", ID: id, Size: size, Sizes: sizes, Time: at, Server: server})
-	}
-	return Placement{ID: id, Shard: si, Server: server, Opened: opened, Time: at}, nil
+	return Placement{ID: id, Shard: si, Server: resp.server, Opened: resp.flag, Time: resp.at}, nil
 }
 
 // Depart reports a job departure to its shard. A nil t means "now".
@@ -209,63 +303,173 @@ func (d *Dispatcher) Depart(id item.ID, t *float64) (Departure, error) {
 	defer d.metrics.observeDepart(time.Now())
 	at, assigned := d.resolveTime(t)
 	si := d.ShardFor(id)
-	sh := d.shards[si]
-
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	if sh.closed {
+	req := reqPool.Get().(*request)
+	req.kind, req.id, req.size, req.sizes, req.at, req.assigned = opDepart, id, 0, nil, at, assigned
+	resp, ok := d.shards[si].submit(req)
+	if !ok {
 		d.metrics.reject(ErrClosed)
 		return Departure{}, ErrClosed
 	}
-	at = sh.guard(at, assigned)
-	server, closed, err := sh.stream.Depart(id, at)
+	if resp.err != nil {
+		return Departure{}, resp.err
+	}
+	return Departure{ID: id, Shard: si, Server: resp.server, Closed: resp.flag, Time: resp.at}, nil
+}
+
+// run is shard si's owner goroutine: the only writer of the shard's
+// stream and journal. It applies envelopes strictly in queue order,
+// republishing the shard's stats gauge whenever the queue runs empty
+// (and at least every publishEvery envelopes under sustained load).
+// When Close shuts the queue, it finishes the backlog — everything
+// that entered the queue is applied, nothing is dropped — then shuts
+// lingering keep-alive servers and publishes the final gauge.
+func (d *Dispatcher) run(si int, sh *shard) {
+	defer close(sh.done)
+	sincePublish := 0
+	for {
+		var req *request
+		var ok bool
+		select {
+		case req, ok = <-sh.reqs:
+		default:
+			// Queue empty: publish a fresh gauge, then block.
+			sh.publish(si)
+			sincePublish = 0
+			req, ok = <-sh.reqs
+		}
+		if !ok {
+			break
+		}
+		d.apply(si, sh, req)
+		if sincePublish++; sincePublish >= publishEvery {
+			sh.publish(si)
+			sincePublish = 0
+		}
+	}
+	sh.stream.Shutdown()
+	sh.publish(si)
+}
+
+// apply executes one envelope against the shard's stream: clamp the
+// timestamp, run the event, bump the metrics, journal the applied
+// event (so ShardEvents reflects every answered request), then reply.
+func (d *Dispatcher) apply(si int, sh *shard, req *request) {
+	if req.kind == opSnapshot {
+		req.reply <- response{snap: sh.stream.Snapshot()}
+		return
+	}
+	at := sh.guard(req.at, req.assigned)
+	var server int
+	var flag bool
+	var err error
+	if req.kind == opArrive {
+		server, flag, err = sh.stream.Arrive(req.id, req.size, req.sizes, at)
+	} else {
+		server, flag, err = sh.stream.Depart(req.id, at)
+	}
 	if err != nil {
 		d.metrics.reject(err)
-		return Departure{}, err
+		req.reply <- response{err: err}
+		return
 	}
-	d.metrics.departures.Add(1)
-	if closed {
-		d.metrics.serversClosed.Add(1)
+	if req.kind == opArrive {
+		d.metrics.arrivals.Add(1)
+		if flag {
+			d.metrics.serversOpened.Add(1)
+		}
+		if d.cfg.RecordEvents {
+			sh.append(Event{Kind: "arrive", ID: req.id, Size: req.size, Sizes: req.sizes, Time: at, Server: server})
+		}
+	} else {
+		d.metrics.departures.Add(1)
+		if flag {
+			d.metrics.serversClosed.Add(1)
+		}
+		if d.cfg.RecordEvents {
+			sh.append(Event{Kind: "depart", ID: req.id, Time: at, Server: server})
+		}
 	}
-	if d.cfg.RecordEvents {
-		sh.log = append(sh.log, Event{Kind: "depart", ID: id, Time: at, Server: server})
-	}
-	return Departure{ID: id, Shard: si, Server: server, Closed: closed, Time: at}, nil
+	req.reply <- response{server: server, flag: flag, at: at}
+}
+
+// append journals one applied event. Only the owner goroutine appends;
+// the mutex exists so ShardEvents can copy concurrently — it is never
+// contended on the event path.
+func (sh *shard) append(ev Event) {
+	sh.logMu.Lock()
+	sh.log = append(sh.log, ev)
+	sh.logMu.Unlock()
+}
+
+// publish stores a fresh stats gauge for lock-free readers (Stats,
+// the /v1/stats endpoint). Owner-only.
+func (sh *shard) publish(si int) {
+	st := sh.stream
+	sh.gauge.Store(&ShardStats{
+		Shard:       si,
+		Policy:      sh.policy,
+		Engine:      sh.engine,
+		Clock:       st.Now(),
+		Events:      st.Events(),
+		OpenServers: st.OpenServers(),
+		ServersUsed: st.ServersUsed(),
+		PeakServers: st.PeakServers(),
+		UsageTime:   st.UsageTime(),
+	})
 }
 
 // ShardEvents returns a copy of shard i's journal (Config.RecordEvents
 // must be on). The journal lists events in the exact order the shard
-// applied them.
+// owner applied them; every request that has been answered is present.
 func (d *Dispatcher) ShardEvents(i int) []Event {
 	sh := d.shards[i]
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
+	sh.logMu.Lock()
+	defer sh.logMu.Unlock()
 	out := make([]Event, len(sh.log))
 	copy(out, sh.log)
 	return out
 }
 
 // Snapshot returns shard i's stream snapshot (totals + open servers).
+// It is served by the shard owner, serialized with the event stream;
+// once the dispatcher has closed, the quiesced stream is read directly.
 func (d *Dispatcher) Snapshot(i int) packing.Snapshot {
 	sh := d.shards[i]
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	return sh.stream.Snapshot()
+	req := reqPool.Get().(*request)
+	req.kind, req.id, req.size, req.sizes, req.at, req.assigned = opSnapshot, 0, 0, nil, 0, false
+	resp, ok := sh.submit(req)
+	if !ok {
+		<-sh.done // owner gone; its exit happens-before this read
+		return sh.stream.Snapshot()
+	}
+	return resp.snap
 }
 
-// Close drains the dispatcher: every request that already holds a shard
-// is allowed to finish, later requests get ErrClosed, lingering
-// keep-alive servers are shut down at their natural expiry, and the
-// final totals are computed. Close is idempotent; every call returns
-// the same final Stats.
+// Close drains the dispatcher: envelopes already queued are applied
+// (an accepted request is never dropped), later submissions get
+// ErrClosed, lingering keep-alive servers are shut down at their
+// natural expiry, and the final totals are computed after every shard
+// owner has exited. Close is idempotent; every call returns the same
+// final Stats.
 func (d *Dispatcher) Close() Stats {
 	d.closing.Do(func() {
 		d.draining.Store(true)
+		// Flip every gate first so no new envelope enters any queue...
 		for _, sh := range d.shards {
-			sh.mu.Lock()
-			sh.closed = true
-			sh.stream.Shutdown()
-			sh.mu.Unlock()
+			sh.closed.Store(true)
+		}
+		// ...then wait out submitters already past a gate (they hold a
+		// nonzero inflight count only between the gate check and the
+		// channel send) and shut each queue; the owner finishes the
+		// backlog and exits.
+		for _, sh := range d.shards {
+			for sh.inflight.Load() != 0 {
+				runtime.Gosched()
+			}
+			close(sh.reqs)
+		}
+		for _, sh := range d.shards {
+			<-sh.done
 		}
 		s := d.Stats()
 		d.final.Store(&s)

@@ -3,6 +3,7 @@ package serve
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"net/http"
 
@@ -70,7 +71,8 @@ func StatusOf(err error) (int, string) {
 //
 // Responses are JSON; failures carry an ErrorResponse with a stable
 // code (409 duplicate_job, 404 unknown_job, 422 bad_demand /
-// time_regression, 503 shutting_down, 400 bad_request).
+// time_regression, 503 shutting_down, 400 bad_request, 413
+// request_too_large).
 func NewHandler(d *Dispatcher) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/arrive", func(w http.ResponseWriter, r *http.Request) {
@@ -112,12 +114,18 @@ func NewHandler(d *Dispatcher) http.Handler {
 }
 
 // decode parses a JSON request body strictly (unknown fields and
-// trailing garbage are 400s) and writes the error response itself on
-// failure.
+// trailing garbage are 400s, an oversized body is a 413) and writes
+// the error response itself on failure.
 func decode(w http.ResponseWriter, r *http.Request, into any) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(into); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				ErrorResponse{Code: "request_too_large", Error: fmt.Sprintf("request body exceeds %d bytes", mbe.Limit)})
+			return false
+		}
 		writeJSON(w, http.StatusBadRequest, ErrorResponse{Code: "bad_request", Error: "bad JSON body: " + err.Error()})
 		return false
 	}

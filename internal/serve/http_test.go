@@ -99,7 +99,11 @@ func TestHTTPGolden(t *testing.T) {
 	}
 	want(t, body, map[string]any{"server": 0.0, "opened": false})
 
-	// Each failure class maps to its status and stable code.
+	// Each failure class maps to its status and stable code. The
+	// oversized body is valid JSON padded past the 1 MiB request cap:
+	// it must be refused as 413 request_too_large, not a generic 400
+	// (the decoder distinguishes *http.MaxBytesError from bad syntax).
+	oversized := `{"id":9,"size":0.2,"time":2,"pad":"` + strings.Repeat("x", 1<<20) + `"}`
 	for _, tc := range []struct {
 		name, path, body string
 		status           int
@@ -111,6 +115,7 @@ func TestHTTPGolden(t *testing.T) {
 		{"time regression", "/v1/arrive", `{"id":9,"size":0.2,"time":0.5}`, http.StatusUnprocessableEntity, "time_regression"},
 		{"malformed JSON", "/v1/arrive", `{"id":`, http.StatusBadRequest, "bad_request"},
 		{"unknown field", "/v1/arrive", `{"id":9,"sz":0.5}`, http.StatusBadRequest, "bad_request"},
+		{"oversized body", "/v1/arrive", oversized, http.StatusRequestEntityTooLarge, "request_too_large"},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			resp, body := post(t, ts, tc.path, tc.body)

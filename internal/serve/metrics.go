@@ -11,11 +11,12 @@ import (
 )
 
 // metrics is the dispatcher's lock-free counter core. Counters are
-// plain atomics bumped on the request path; gauges derived from stream
-// state (usage time, open servers) are computed on demand in Stats by
-// briefly visiting each shard. Latency histograms (one per op type,
-// log-bucketed, shared across shards) are likewise recorded with
-// atomics on the request path — see internal/load/hist.
+// plain atomics bumped by the shard owners; gauges derived from stream
+// state (usage time, open servers) are published by each owner as an
+// atomic per-shard snapshot, so Stats never touches a shard's stream.
+// Latency histograms (one per op type, log-bucketed, shared across
+// shards) are recorded with atomics on the request path — see
+// internal/load/hist.
 type metrics struct {
 	arrivals      atomic.Uint64
 	departures    atomic.Uint64
@@ -41,8 +42,8 @@ func (m *metrics) init() {
 }
 
 // observeArrive/observeDepart record one request's service time —
-// dispatch, shard lock wait, and stream work included; rejected
-// requests count too (they held the shard just the same).
+// dispatch, shard queue wait, and stream work included; rejected
+// requests count too (they occupied the shard owner just the same).
 func (m *metrics) observeArrive(start time.Time) { m.latArrive.Record(time.Since(start)) }
 func (m *metrics) observeDepart(start time.Time) { m.latDepart.Record(time.Since(start)) }
 
@@ -87,7 +88,7 @@ type Stats struct {
 
 	// Latency holds the server-side service-time digest per op type
 	// ("arrive", "depart"): time from dispatch to stream return,
-	// shard lock wait included, measured on every request (rejections
+	// shard queue wait included, measured on every request (rejections
 	// too). Microseconds; percentiles carry the histogram's <= 3.2%
 	// relative error.
 	Latency map[string]hist.Summary `json:"latency,omitempty"`
@@ -115,9 +116,12 @@ type ShardStats struct {
 	UsageTime   float64 `json:"usage_time"`
 }
 
-// Stats assembles the current service-wide statistics. It visits each
-// shard under its lock (read-only, O(open servers) per shard) and so
-// observes a per-shard-consistent state.
+// Stats assembles the current service-wide statistics from the gauges
+// each shard owner publishes atomically — no shard is locked, queued
+// behind, or otherwise disturbed by a stats read. Each gauge is a
+// consistent view of its shard as of that owner's last publish: exact
+// whenever the shard's queue has run empty, and at most publishEvery
+// events stale under sustained load.
 func (d *Dispatcher) Stats() Stats {
 	s := Stats{
 		UptimeSeconds: d.clock(),
@@ -147,26 +151,13 @@ func (d *Dispatcher) Stats() Stats {
 		"depart": d.metrics.latDepart.Summary(),
 	}
 	for i, sh := range d.shards {
-		sh.mu.Lock()
-		snap := sh.stream.Snapshot()
-		policy, engine := sh.stream.Policy(), sh.stream.Engine()
-		sh.mu.Unlock()
-		s.PerShard[i] = ShardStats{
-			Shard:       i,
-			Policy:      policy,
-			Engine:      engine,
-			Clock:       snap.Now,
-			Events:      snap.Events,
-			OpenServers: snap.OpenServers,
-			ServersUsed: snap.ServersUsed,
-			PeakServers: snap.PeakServers,
-			UsageTime:   snap.UsageTime,
-		}
-		s.OpenServers += snap.OpenServers
-		s.ServersUsed += snap.ServersUsed
-		s.PeakServers += snap.PeakServers
-		s.UsageTime += snap.UsageTime
-		s.Engine = engine
+		g := sh.gauge.Load()
+		s.PerShard[i] = *g
+		s.OpenServers += g.OpenServers
+		s.ServersUsed += g.ServersUsed
+		s.PeakServers += g.PeakServers
+		s.UsageTime += g.UsageTime
+		s.Engine = g.Engine
 	}
 	if s.UptimeSeconds > 0 {
 		s.EventsPerSecond = float64(s.Arrivals+s.Departures) / s.UptimeSeconds
