@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test quick race vet fmt check serve equivalence bench-ledger bench-ledger-check bench-fleet figures loadtest loadtest-short loadtest-ramp sweep sweep-short
+.PHONY: build test quick race vet fmt check serve equivalence bench-ledger bench-ledger-check bench-fleet figures loadtest loadtest-short loadtest-ramp sweep sweep-short fuzz-short bench-wire loadtest-wire duel
 
 build:
 	$(GO) build ./...
@@ -24,12 +24,14 @@ vet:
 race:
 	$(GO) test -race -short ./...
 
-## check: the full local gate — formatting, vet, and the race-enabled suite
-check: fmt vet race test
+## check: the full local gate — formatting, vet, the race-enabled suite, and
+## the wire codec's zero-allocation proof (bench-wire asserts 0 allocs/op)
+check: fmt vet race test bench-wire
 
-## serve: launch the allocation daemon with sensible defaults
+## serve: launch the allocation daemon with sensible defaults (HTTP on
+## :8080, binary wire protocol on :9090)
 serve:
-	$(GO) run ./cmd/dbpserved -addr :8080 -algo firstfit
+	$(GO) run ./cmd/dbpserved -addr :8080 -wire-addr :9090 -algo firstfit
 
 ## loadtest: benchmark a running dbpserved (start one with `make serve`) over
 ## HTTP at a fixed open-loop rate; writes BENCH_serve.json
@@ -44,6 +46,17 @@ loadtest-short:
 ## loadtest-ramp: find the max rate a running dbpserved sustains under a 5ms p99 SLO
 loadtest-ramp:
 	$(GO) run ./cmd/dbpload -target http -addr localhost:8080 -ramp -slo-p99 5ms -o BENCH_serve.json
+
+## loadtest-wire: benchmark a running dbpserved (start one with `make serve`)
+## over the binary wire protocol at a fixed open-loop rate
+loadtest-wire:
+	$(GO) run ./cmd/dbpload -target wire -wire-addr localhost:9090 -mode open -rate 100000 -warmup 2s -measure 10s -o BENCH_serve.json
+
+## duel: regenerate the HTTP-vs-wire transport curve in BENCH_serve.json
+## against a running `make serve` daemon
+duel:
+	$(GO) run ./cmd/dbpload -duel -addr localhost:8080 -wire-addr localhost:9090 \
+		-duel-rates 2000,5000,10000,20000,50000,100000 -warmup 1s -measure 5s -o BENCH_serve.json
 
 ## sweep: regenerate BENCH_scale.json — the shards × GOMAXPROCS × rate
 ## scaling surface of the in-process dispatcher
@@ -81,6 +94,18 @@ bench-ledger-check:
 ## bench-fleet: run the large-fleet Go benchmarks once each
 bench-fleet:
 	$(GO) test -run '^$$' -bench LargeFleet -benchtime 1x .
+
+## bench-wire: the wire codec's perf ledger; the accompanying
+## TestCodecZeroAlloc asserts 0 allocs/op on the encode and decode paths
+bench-wire:
+	$(GO) test -run 'CodecZeroAlloc' -bench Wire -benchmem ./internal/wire/
+
+## fuzz-short: a CI-scale smoke run of the wire codec fuzzers (go's native
+## fuzzing allows one target per invocation)
+fuzz-short:
+	$(GO) test -run '^$$' -fuzz FuzzDecodeOp -fuzztime 5s ./internal/wire/
+	$(GO) test -run '^$$' -fuzz FuzzDecodeResult -fuzztime 5s ./internal/wire/
+	$(GO) test -run '^$$' -fuzz FuzzDecodeBatch -fuzztime 5s ./internal/wire/
 
 figures:
 	$(GO) run ./cmd/dbpplot

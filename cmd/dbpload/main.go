@@ -10,6 +10,13 @@
 //	dbpserved -addr :8080 &
 //	dbpload -target http -addr localhost:8080 -mode open -rate 5000
 //
+//	# drive the binary wire protocol (persistent conns + batched frames)
+//	dbpserved -addr :8080 -wire-addr :9090 &
+//	dbpload -target wire -wire-addr localhost:9090 -rate 100000 -conns 4 -batch 64
+//
+//	# HTTP-vs-wire transport curve against one daemon
+//	dbpload -duel -addr localhost:8080 -wire-addr localhost:9090 -duel-rates 2000,10000,50000
+//
 //	# in-process smoke run (no daemon needed), then regression-check
 //	dbpload -target inproc -measure 3s -o BENCH_serve.json
 //	dbpload -target inproc -measure 3s -compare BENCH_serve.json
@@ -37,11 +44,12 @@ import (
 
 	"dbp/internal/load"
 	"dbp/internal/serve"
+	"dbp/internal/wire"
 )
 
 func main() {
 	var (
-		target  = flag.String("target", "inproc", "transport: inproc (own dispatcher) or http (running dbpserved)")
+		target  = flag.String("target", "inproc", "transport: inproc (own dispatcher), http, or wire (running dbpserved)")
 		addr    = flag.String("addr", "localhost:8080", "dbpserved host:port for -target http")
 		mode    = flag.String("mode", "open", "pacing: open (fixed rate) or closed (clients + think time)")
 		rate    = flag.Float64("rate", 5000, "open-loop target ops/s (arrivals + departures)")
@@ -77,6 +85,15 @@ func main() {
 		sweepShards = flag.String("sweep-shards", "1,2,4", "sweep: comma-separated shard counts")
 		sweepProcs  = flag.String("sweep-procs", "1,2,4", "sweep: comma-separated GOMAXPROCS values")
 		sweepRates  = flag.String("sweep-rates", "50000,200000,800000", "sweep: comma-separated open-loop rates, ops/s")
+
+		wireAddr = flag.String("wire-addr", "localhost:9090", "dbpserved wire address for -target wire and -duel")
+		conns    = flag.Int("conns", 4, "wire: persistent connections in the client pool")
+		window   = flag.Int("window", 32, "wire: pipelined batches in flight per connection")
+		batch    = flag.Int("batch", 64, "wire: max ops coalesced into one batch frame")
+		flush    = flag.Duration("flush", 0, "wire: max extra latency the writer waits to fill a batch (0 = send immediately)")
+
+		duel      = flag.Bool("duel", false, "drive the HTTP-vs-wire transport curve against one daemon (-addr + -wire-addr); the report carries every point plus the final wire run")
+		duelRates = flag.String("duel-rates", "2000,5000,10000,20000,50000,100000", "duel: comma-separated open-loop rates tried per transport")
 	)
 	flag.Parse()
 	if *out == "" {
@@ -146,6 +163,13 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
+			// A baseline from different hardware cannot gate this run:
+			// scaling throughput tracks the core count, so warn and skip
+			// rather than report a phantom regression (or pass).
+			if why := load.ScaleComparable(base, rep); why != "" {
+				log.Printf("dbpload: WARNING: skipping comparison vs %s: %s", *compare, why)
+				return
+			}
 			if bad := load.CompareScale(base, rep, *tol); len(bad) > 0 {
 				for _, b := range bad {
 					log.Printf("dbpload: REGRESSION vs %s: %s", *compare, b)
@@ -154,6 +178,14 @@ func main() {
 			}
 			log.Printf("dbpload: no regression vs %s (tolerance %g%%)", *compare, *tol)
 		}
+		return
+	}
+
+	wireOpts := wire.Options{Conns: *conns, Window: *window, MaxBatch: *batch, Flush: *flush}
+
+	if *duel {
+		runDuel(*addr, *wireAddr, *duelRates, wireOpts, script, workloadLabel,
+			*clients, *warmup, *measure, *drain, *out, *compare, *tol)
 		return
 	}
 
@@ -172,8 +204,15 @@ func main() {
 			nc = 128
 		}
 		tgt = load.NewHTTP("http://"+*addr, nc, 30*time.Second)
+	case "wire":
+		wt, err := load.NewWire(*wireAddr, wireOpts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer wt.Close()
+		tgt = wt
 	default:
-		log.Fatalf("dbpload: unknown -target %q (want inproc or http)", *target)
+		log.Fatalf("dbpload: unknown -target %q (want inproc, http, or wire)", *target)
 	}
 
 	opts := load.Options{
@@ -253,6 +292,88 @@ func main() {
 			os.Exit(2)
 		}
 		log.Printf("dbpload: no regression vs %s (tolerance %g%%)", *compare, *tol)
+	}
+}
+
+// runDuel drives both transports against one daemon at every rate in
+// ratesCSV (open loop, shared workload shape, disjoint ID ranges) and
+// writes a single report: the final wire run's full digest with the
+// complete HTTP-vs-wire curve attached as Transports.
+func runDuel(addr, wireAddr, ratesCSV string, wireOpts wire.Options, script *load.Script,
+	workloadLabel string, clients int, warmup, measure, drain time.Duration,
+	out, compare string, tol float64) {
+	rates, err := parseFloats(ratesCSV)
+	if err != nil {
+		log.Fatalf("dbpload: -duel-rates: %v", err)
+	}
+	var points []load.TransportPoint
+	var final *load.Report
+	run := 0
+	for _, transport := range []string{"http", "wire"} {
+		for _, rate := range rates {
+			var tgt load.Target
+			var wt *load.WireTarget
+			if transport == "http" {
+				nc := clients
+				if nc <= 0 {
+					nc = 128
+				}
+				tgt = load.NewHTTP("http://"+addr, nc, 30*time.Second)
+			} else {
+				wt, err = load.NewWire(wireAddr, wireOpts)
+				if err != nil {
+					log.Fatalf("dbpload: dial wire %s: %v", wireAddr, err)
+				}
+				tgt = wt
+			}
+			run++
+			rep, err := load.Run(load.Options{
+				Target:        tgt,
+				Script:        script,
+				Mode:          load.ModeOpen,
+				Rate:          rate,
+				Clients:       clients,
+				Warmup:        warmup,
+				Measure:       measure,
+				Drain:         drain,
+				IDBase:        int64(run) * 1_000_000_000_000, // runs share one daemon; IDs must not collide
+				WorkloadLabel: workloadLabel,
+			})
+			if wt != nil {
+				wt.Close()
+			}
+			if err != nil {
+				log.Fatal(err)
+			}
+			p := load.PointOf(rep)
+			points = append(points, p)
+			log.Printf("dbpload: duel %-4s @ %8.0f ops/s: achieved %8.0f, arrive p50=%.0fus p99=%.0fus",
+				transport, rate, p.AchievedRate, p.ArriveP50US, p.ArriveP99US)
+			if transport == "wire" {
+				final = rep
+			}
+		}
+	}
+	final.Transports = points
+	summarize(final)
+	if out != "" {
+		if err := final.WriteFile(out); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("dbpload: wrote %s", out)
+	}
+	if compare != "" {
+		base, err := load.ReadReport(compare)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if bad := load.Compare(base, final, tol); len(bad) > 0 {
+			for _, b := range bad {
+				log.Printf("dbpload: REGRESSION vs %s: %s", compare, b)
+			}
+			os.Exit(2)
+		}
+		log.Printf("dbpload: no regression vs %s (tolerance %g%%)", compare, tol)
 	}
 }
 

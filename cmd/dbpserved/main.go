@@ -7,13 +7,21 @@
 //
 //	POST /v1/arrive  {"id":1,"size":0.4}          → placement
 //	POST /v1/depart  {"id":1}                     → departure
+//	POST /v1/batch   {"ops":[...]}                → per-op results
 //	GET  /v1/stats                                → service statistics
 //	GET  /healthz                                 → liveness
 //	GET  /debug/vars                              → expvar (incl. "dbpserved")
 //
-// On SIGINT/SIGTERM the daemon stops accepting connections, drains
-// in-flight requests, shuts lingering keep-alive servers, and logs the
-// final usage-time and peak-servers totals before exiting.
+// With -wire-addr the daemon also serves the binary batched wire
+// protocol (internal/wire) on a second listener, against the same
+// dispatcher — dbpload -target wire drives it:
+//
+//	dbpserved -addr :8080 -wire-addr :9090
+//
+// On SIGINT/SIGTERM the daemon drains in order: the wire front end
+// (in-flight batches answered, GoAway delivered), then the HTTP server,
+// then the dispatcher; it logs the final usage-time and peak-servers
+// totals before exiting.
 package main
 
 import (
@@ -23,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -32,11 +41,13 @@ import (
 
 	"dbp/internal/packing"
 	"dbp/internal/serve"
+	"dbp/internal/wire"
 )
 
 func main() {
 	var (
 		addr      = flag.String("addr", ":8080", "listen address")
+		wireAddr  = flag.String("wire-addr", "", "also serve the binary wire protocol on this address (empty = HTTP only)")
 		algo      = flag.String("algo", "firstfit", "packing policy: "+strings.Join(packing.Names(), ", "))
 		shards    = flag.Int("shards", 0, "dispatcher shards (0 = GOMAXPROCS)")
 		capacity  = flag.Float64("capacity", 1, "per-dimension server capacity")
@@ -93,6 +104,21 @@ func main() {
 		errc <- srv.ListenAndServe()
 	}()
 
+	var ws *wire.Server
+	if *wireAddr != "" {
+		ln, err := net.Listen("tcp", *wireAddr)
+		if err != nil {
+			log.Fatalf("dbpserved: wire listener: %v", err)
+		}
+		ws = wire.NewServer(d)
+		go func() {
+			log.Printf("dbpserved: wire protocol v%d listening on %s", wire.Version, *wireAddr)
+			if err := ws.Serve(ln); err != nil {
+				errc <- fmt.Errorf("wire: %w", err)
+			}
+		}()
+	}
+
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
 	select {
@@ -102,8 +128,12 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Stop accepting connections and let in-flight requests finish,
-	// then drain the dispatcher and report the final objective totals.
+	// Drain in dependency order: the wire front end first (in-flight
+	// batches are answered and every connection gets its GoAway), then
+	// the HTTP server, then the dispatcher itself.
+	if ws != nil {
+		ws.Close()
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {

@@ -28,6 +28,43 @@ type ReportConfig struct {
 	DrainSec   float64 `json:"drain_sec"`
 	Workload   string  `json:"workload"`
 	GOMAXPROCS int     `json:"gomaxprocs"`
+	// Transport carries transport-level tuning (the wire client's pool
+	// shape) when the target has any; nil for inproc and http.
+	Transport *TransportConfig `json:"transport,omitempty"`
+}
+
+// TransportConfig is the wire client's pool tuning, echoed into the
+// results file so a benchmark number is reproducible from its report.
+type TransportConfig struct {
+	Conns    int     `json:"conns,omitempty"`
+	Window   int     `json:"window,omitempty"`
+	MaxBatch int     `json:"max_batch,omitempty"`
+	FlushMS  float64 `json:"flush_ms,omitempty"`
+}
+
+// TransportPoint is one point of the HTTP-vs-wire transport curve
+// written by dbpload -duel: both transports driven at the same
+// requested rate against one daemon, digested to the numbers the
+// comparison turns on.
+type TransportPoint struct {
+	Transport     string  `json:"transport"`
+	RequestedRate float64 `json:"requested_rate"`
+	AchievedRate  float64 `json:"achieved_rate"`
+	ArriveP50US   float64 `json:"arrive_p50_us"`
+	ArriveP99US   float64 `json:"arrive_p99_us"`
+	DepartP99US   float64 `json:"depart_p99_us"`
+}
+
+// PointOf digests a finished run into its transport-curve point.
+func PointOf(rep *Report) TransportPoint {
+	return TransportPoint{
+		Transport:     rep.Config.Target,
+		RequestedRate: rep.RequestedRate,
+		AchievedRate:  rep.AchievedRate,
+		ArriveP50US:   rep.Ops["arrive"].Latency.P50US,
+		ArriveP99US:   rep.Ops["arrive"].Latency.P99US,
+		DepartP99US:   rep.Ops["depart"].Latency.P99US,
+	}
 }
 
 // PhaseReport is the throughput accounting of one run phase.
@@ -83,7 +120,10 @@ type Report struct {
 	ShardSkew *ShardSkew   `json:"shard_skew,omitempty"`
 	Server    *serve.Stats `json:"server,omitempty"`
 	Ramp      *RampResult  `json:"ramp,omitempty"`
-	Notes     []string     `json:"notes,omitempty"`
+	// Transports is the HTTP-vs-wire curve from a -duel run: every
+	// (transport, rate) probe, in run order.
+	Transports []TransportPoint `json:"transports,omitempty"`
+	Notes      []string         `json:"notes,omitempty"`
 }
 
 // report assembles the Report from per-client results.
@@ -151,6 +191,10 @@ func (r *runner) report(results []*clientResult) *Report {
 		},
 		Phases: map[string]PhaseReport{},
 		Ops:    map[string]OpReport{},
+	}
+	// Targets with transport-level tuning (the wire pool) echo it.
+	if tc, ok := o.Target.(interface{ Config() *TransportConfig }); ok {
+		rep.Config.Transport = tc.Config()
 	}
 	if o.Warmup > 0 {
 		rep.Phases["warmup"] = PhaseReport{

@@ -292,6 +292,25 @@ func ReadScaleReport(path string) (*ScaleReport, error) {
 	return &r, nil
 }
 
+// ScaleComparable reports whether a baseline scale report can be
+// meaningfully regression-diffed against one produced on this run. It
+// returns "" when they are comparable, or a human-readable reason to
+// skip the comparison: scaling throughput is a function of the
+// machine's core count, so a baseline recorded on different hardware
+// would fail (or pass) the gate for reasons that have nothing to do
+// with the code under test. Callers should warn and skip (exit 0), not
+// fail, on a non-empty reason.
+func ScaleComparable(old, new *ScaleReport) string {
+	if old.Config.NumCPU == 0 {
+		return "baseline records no num_cpu (written before the field existed); re-baseline on this machine"
+	}
+	if old.Config.NumCPU != new.Config.NumCPU {
+		return fmt.Sprintf("baseline was measured on %d CPUs, this machine has %d; re-baseline instead of comparing",
+			old.Config.NumCPU, new.Config.NumCPU)
+	}
+	return ""
+}
+
 // CompareScale diffs a new scale report against a baseline and returns
 // one violation string per scaling point whose best throughput
 // regressed beyond tolPct percent (points only the baseline has are

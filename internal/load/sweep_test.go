@@ -2,6 +2,9 @@ package load
 
 import (
 	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
 	"testing"
 	"time"
 )
@@ -113,5 +116,61 @@ func TestRunSweepValidation(t *testing.T) {
 		if _, err := RunSweep(o); err == nil {
 			t.Errorf("%s: sweep accepted a malformed grid", name)
 		}
+	}
+}
+
+// TestScaleComparable is the regression test for the cross-machine
+// sweep-compare bug: a baseline recorded on a machine with a different
+// core count used to flow straight into CompareScale and exit 2 with
+// phantom "regressions". The gate must flag such baselines (including
+// pre-num_cpu ones) for a warn-and-skip, and stay silent for a
+// same-machine baseline.
+func TestScaleComparable(t *testing.T) {
+	mk := func(numCPU int, ops float64) *ScaleReport {
+		return &ScaleReport{
+			Schema: ScaleSchema,
+			Config: ScaleConfig{NumCPU: numCPU},
+			Scaling: []ScalePoint{
+				{Shards: 1, Procs: 1, BestOpsPerSec: ops, EffectiveCores: 1, Efficiency: 1},
+			},
+		}
+	}
+	cur := mk(runtime.NumCPU(), 1000)
+
+	if why := ScaleComparable(mk(runtime.NumCPU(), 4000), cur); why != "" {
+		t.Fatalf("same-machine baseline flagged incomparable: %q", why)
+	}
+
+	// Doctored baseline: a much faster machine with a different core
+	// count. Without the gate, CompareScale would report a phantom
+	// regression; with it, the caller warns and skips.
+	doctored := mk(runtime.NumCPU()+7, 1_000_000)
+	why := ScaleComparable(doctored, cur)
+	if why == "" {
+		t.Fatal("cross-machine baseline not flagged")
+	}
+	if !strings.Contains(why, strconv.Itoa(runtime.NumCPU()+7)) || !strings.Contains(why, strconv.Itoa(runtime.NumCPU())) {
+		t.Fatalf("reason %q does not name both core counts", why)
+	}
+	if bad := CompareScale(doctored, cur, 25); len(bad) == 0 {
+		t.Fatal("test premise broken: the doctored baseline no longer trips CompareScale")
+	}
+
+	// A pre-num_cpu baseline (field absent => 0) is also incomparable.
+	if why := ScaleComparable(mk(0, 4000), cur); why == "" {
+		t.Fatal("num_cpu-less baseline not flagged")
+	}
+
+	// The gate survives the file round trip the CLI actually performs.
+	path := filepath.Join(t.TempDir(), "BENCH_scale.json")
+	if err := doctored.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadScaleReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if why := ScaleComparable(back, cur); why == "" {
+		t.Fatal("round-tripped cross-machine baseline not flagged")
 	}
 }

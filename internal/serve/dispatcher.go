@@ -90,6 +90,7 @@ type opKind uint8
 const (
 	opArrive opKind = iota
 	opDepart
+	opBatch    // a shard's slice of one ApplyBatch call
 	opSnapshot // control: deep-copy the shard's stream state
 )
 
@@ -104,6 +105,13 @@ type request struct {
 	at       float64
 	assigned bool // at came from the service clock (guard may clamp)
 	reply    chan response
+
+	// Batch envelopes (kind opBatch): the shard's slice of one
+	// ApplyBatch call. bops is applied in order; each entry's result
+	// lands at out[entry.pos] — shards of one batch write disjoint
+	// positions, so the scatter needs no lock.
+	bops []batchEntry
+	out  []BatchResult
 }
 
 // response is the owner's answer to one envelope.
@@ -270,6 +278,9 @@ func (sh *shard) submit(req *request) (response, bool) {
 
 func putRequest(req *request) {
 	req.sizes = nil // the journal/stream own the copied slice now
+	clear(req.bops) // drop size-slice references; journal/stream own them
+	req.bops = req.bops[:0]
+	req.out = nil
 	reqPool.Put(req)
 }
 
@@ -340,8 +351,8 @@ func (d *Dispatcher) run(si int, sh *shard) {
 		if !ok {
 			break
 		}
-		d.apply(si, sh, req)
-		if sincePublish++; sincePublish >= publishEvery {
+		sincePublish += d.apply(si, sh, req)
+		if sincePublish >= publishEvery {
 			sh.publish(si)
 			sincePublish = 0
 		}
@@ -353,43 +364,62 @@ func (d *Dispatcher) run(si int, sh *shard) {
 // apply executes one envelope against the shard's stream: clamp the
 // timestamp, run the event, bump the metrics, journal the applied
 // event (so ShardEvents reflects every answered request), then reply.
-func (d *Dispatcher) apply(si int, sh *shard, req *request) {
-	if req.kind == opSnapshot {
+// It returns the number of stream events the envelope carried, which
+// paces the owner's gauge republishing. The envelope still belongs to
+// the submitter — apply must not touch it after sending the reply.
+func (d *Dispatcher) apply(si int, sh *shard, req *request) int {
+	switch req.kind {
+	case opSnapshot:
 		req.reply <- response{snap: sh.stream.Snapshot()}
-		return
+		return 1
+	case opBatch:
+		n := len(req.bops)
+		for i := range req.bops {
+			e := &req.bops[i]
+			server, flag, at, err := d.applyOne(sh, e.depart, e.id, e.size, e.sizes, e.at, e.assigned)
+			req.out[e.pos] = BatchResult{Server: server, Flag: flag, Time: at, Err: err}
+		}
+		req.reply <- response{}
+		return n
 	}
-	at := sh.guard(req.at, req.assigned)
-	var server int
-	var flag bool
-	var err error
-	if req.kind == opArrive {
-		server, flag, err = sh.stream.Arrive(req.id, req.size, req.sizes, at)
+	depart := req.kind == opDepart
+	server, flag, at, err := d.applyOne(sh, depart, req.id, req.size, req.sizes, req.at, req.assigned)
+	req.reply <- response{server: server, flag: flag, at: at, err: err}
+	return 1
+}
+
+// applyOne runs one event against the shard's stream and does its
+// metrics and journal accounting; shared by the single-op and batch
+// envelope paths so both have identical semantics. Owner-only.
+func (d *Dispatcher) applyOne(sh *shard, depart bool, id item.ID, size float64, sizes []float64, at float64, assigned bool) (server int, flag bool, applied float64, err error) {
+	at = sh.guard(at, assigned)
+	if depart {
+		server, flag, err = sh.stream.Depart(id, at)
 	} else {
-		server, flag, err = sh.stream.Depart(req.id, at)
+		server, flag, err = sh.stream.Arrive(id, size, sizes, at)
 	}
 	if err != nil {
 		d.metrics.reject(err)
-		req.reply <- response{err: err}
-		return
+		return 0, false, at, err
 	}
-	if req.kind == opArrive {
-		d.metrics.arrivals.Add(1)
-		if flag {
-			d.metrics.serversOpened.Add(1)
-		}
-		if d.cfg.RecordEvents {
-			sh.append(Event{Kind: "arrive", ID: req.id, Size: req.size, Sizes: req.sizes, Time: at, Server: server})
-		}
-	} else {
+	if depart {
 		d.metrics.departures.Add(1)
 		if flag {
 			d.metrics.serversClosed.Add(1)
 		}
 		if d.cfg.RecordEvents {
-			sh.append(Event{Kind: "depart", ID: req.id, Time: at, Server: server})
+			sh.append(Event{Kind: "depart", ID: id, Time: at, Server: server})
+		}
+	} else {
+		d.metrics.arrivals.Add(1)
+		if flag {
+			d.metrics.serversOpened.Add(1)
+		}
+		if d.cfg.RecordEvents {
+			sh.append(Event{Kind: "arrive", ID: id, Size: size, Sizes: sizes, Time: at, Server: server})
 		}
 	}
-	req.reply <- response{server: server, flag: flag, at: at}
+	return server, flag, at, nil
 }
 
 // append journals one applied event. Only the owner goroutine appends;

@@ -27,6 +27,50 @@ type DepartRequest struct {
 	Time *float64 `json:"time,omitempty"`
 }
 
+// BatchRequest is the POST /v1/batch body: an ordered list of ops
+// applied via the dispatcher's batch path (grouped by shard, one
+// envelope per shard), each answered individually in BatchResponse.
+type BatchRequest struct {
+	Ops []BatchOpRequest `json:"ops"`
+}
+
+// BatchOpRequest is one op in a BatchRequest. Op selects the kind
+// ("arrive" or "depart"); the remaining fields mirror ArriveRequest /
+// DepartRequest.
+type BatchOpRequest struct {
+	Op    string    `json:"op"`
+	ID    item.ID   `json:"id"`
+	Size  float64   `json:"size,omitempty"`
+	Sizes []float64 `json:"sizes,omitempty"`
+	Time  *float64  `json:"time,omitempty"`
+}
+
+// BatchOpResult is one op's outcome in a BatchResponse: the HTTP
+// status and stable code the single-op endpoint would have answered
+// with, plus the placement/departure fields on success.
+type BatchOpResult struct {
+	Status int    `json:"status"`
+	Code   string `json:"code,omitempty"`
+	Error  string `json:"error,omitempty"`
+
+	ID     item.ID `json:"id"`
+	Shard  int     `json:"shard"`
+	Server int     `json:"server,omitempty"`
+	Opened bool    `json:"opened,omitempty"`
+	Closed bool    `json:"closed,omitempty"`
+	Time   float64 `json:"time,omitempty"`
+}
+
+// BatchResponse answers POST /v1/batch: results[i] answers ops[i].
+type BatchResponse struct {
+	Results []BatchOpResult `json:"results"`
+}
+
+// MaxHTTPBatchOps caps the ops of one /v1/batch request; larger
+// batches gain nothing (the wire transport exists for that regime)
+// and would let one request monopolize the shards.
+const MaxHTTPBatchOps = 4096
+
 // ErrorResponse is the JSON body of every non-2xx API response.
 type ErrorResponse struct {
 	// Code is a stable machine-readable class; Error is the diagnostic.
@@ -66,6 +110,8 @@ func StatusOf(err error) (int, string) {
 //
 //	POST /v1/arrive  — place a job; body ArriveRequest, reply Placement
 //	POST /v1/depart  — report a departure; body DepartRequest, reply Departure
+//	POST /v1/batch   — apply an ordered op batch; body BatchRequest,
+//	                   reply BatchResponse with one per-op status each
 //	GET  /v1/stats   — service-wide Stats
 //	GET  /healthz    — liveness ("ok", or 503 once draining)
 //
@@ -98,6 +144,70 @@ func NewHandler(d *Dispatcher) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, dep)
+	})
+	mux.HandleFunc("POST /v1/batch", func(w http.ResponseWriter, r *http.Request) {
+		var req BatchRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		if len(req.Ops) == 0 {
+			writeJSON(w, http.StatusBadRequest, ErrorResponse{Code: "bad_request", Error: "batch has no ops"})
+			return
+		}
+		if len(req.Ops) > MaxHTTPBatchOps {
+			writeJSON(w, http.StatusBadRequest, ErrorResponse{
+				Code: "bad_request", Error: fmt.Sprintf("batch has %d ops, limit %d", len(req.Ops), MaxHTTPBatchOps)})
+			return
+		}
+		// Ops with an unknown kind are answered per-op (400) without
+		// aborting the batch; the valid ops still apply, in order.
+		ops := make([]BatchOp, 0, len(req.Ops))
+		opIdx := make([]int, 0, len(req.Ops)) // batch index -> request index
+		resp := BatchResponse{Results: make([]BatchOpResult, len(req.Ops))}
+		for i, o := range req.Ops {
+			resp.Results[i].ID = o.ID
+			resp.Results[i].Shard = d.ShardFor(o.ID)
+			switch o.Op {
+			case "arrive":
+				op := BatchOp{ID: o.ID, Size: o.Size, Sizes: o.Sizes}
+				if o.Time != nil {
+					op.HasTime, op.Time = true, *o.Time
+				}
+				ops = append(ops, op)
+				opIdx = append(opIdx, i)
+			case "depart":
+				op := BatchOp{Depart: true, ID: o.ID}
+				if o.Time != nil {
+					op.HasTime, op.Time = true, *o.Time
+				}
+				ops = append(ops, op)
+				opIdx = append(opIdx, i)
+			default:
+				resp.Results[i].Status = http.StatusBadRequest
+				resp.Results[i].Code = "bad_request"
+				resp.Results[i].Error = fmt.Sprintf("unknown op %q (want arrive or depart)", o.Op)
+			}
+		}
+		results := make([]BatchResult, len(ops))
+		d.ApplyBatch(ops, results)
+		for bi, ri := range opIdx {
+			out := &resp.Results[ri]
+			res := results[bi]
+			if res.Err != nil {
+				out.Status, out.Code = StatusOf(res.Err)
+				out.Error = res.Err.Error()
+				continue
+			}
+			out.Status = http.StatusOK
+			out.Server = res.Server
+			out.Time = res.Time
+			if ops[bi].Depart {
+				out.Closed = res.Flag
+			} else {
+				out.Opened = res.Flag
+			}
+		}
+		writeJSON(w, http.StatusOK, resp)
 	})
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, d.Stats())

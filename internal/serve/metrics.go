@@ -23,6 +23,12 @@ type metrics struct {
 	serversOpened atomic.Uint64
 	serversClosed atomic.Uint64
 
+	// batches/batchOps count ApplyBatch calls and the ops they carried
+	// (accepted and rejected alike); batchOps/batches is the realized
+	// mean batch size — the transport's channel-hop amortization factor.
+	batches  atomic.Uint64
+	batchOps atomic.Uint64
+
 	rejectDuplicate  atomic.Uint64
 	rejectUnknown    atomic.Uint64
 	rejectBadDemand  atomic.Uint64
@@ -84,6 +90,12 @@ type Stats struct {
 	// EventsPerSecond is lifetime throughput: accepted events / uptime.
 	EventsPerSecond float64 `json:"events_per_second"`
 
+	// Batches counts ApplyBatch calls (the wire transport's batch
+	// frames and /v1/batch requests land here); BatchOps the ops they
+	// carried. BatchOps/Batches is the realized mean batch size.
+	Batches  uint64 `json:"batches,omitempty"`
+	BatchOps uint64 `json:"batch_ops,omitempty"`
+
 	Rejected map[string]uint64 `json:"rejected,omitempty"`
 
 	// Latency holds the server-side service-time digest per op type
@@ -129,6 +141,8 @@ func (d *Dispatcher) Stats() Stats {
 		Algorithm:     d.cfg.Algorithm,
 		Arrivals:      d.metrics.arrivals.Load(),
 		Departures:    d.metrics.departures.Load(),
+		Batches:       d.metrics.batches.Load(),
+		BatchOps:      d.metrics.batchOps.Load(),
 		PerShard:      make([]ShardStats, len(d.shards)),
 	}
 	rejected := map[string]uint64{

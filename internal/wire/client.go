@@ -1,0 +1,532 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dbp/internal/item"
+	"dbp/internal/serve"
+)
+
+// Errors the client surfaces for transport-level conditions.
+var (
+	// ErrGoAway means the server announced a drain: ops already
+	// answered are fine, everything still queued or in flight on that
+	// connection fails with this error.
+	ErrGoAway = errors.New("wire: server sent goaway (draining)")
+	// ErrClientClosed means Close was called on this client.
+	ErrClientClosed = errors.New("wire: client is closed")
+)
+
+// Options tunes a Client. The zero value gets sensible defaults.
+type Options struct {
+	// Conns is the size of the persistent-connection pool; calls are
+	// spread round-robin. Default 2.
+	Conns int
+	// Window caps the batches in flight (sent, not yet answered) per
+	// connection — the pipelining depth. A full window blocks the
+	// writer, which backpressures callers. Default 32.
+	Window int
+	// MaxBatch caps the ops coalesced into one batch frame. Default 64.
+	MaxBatch int
+	// Flush bounds how long the writer waits for more ops to fill a
+	// batch once it holds at least one. Zero means "send what is
+	// queued right now" — under load, batches fill on their own; at low
+	// rates every op departs immediately. Nonzero trades that much
+	// latency for fuller batches.
+	Flush time.Duration
+	// DialTimeout bounds connect + handshake. Default 5s.
+	DialTimeout time.Duration
+}
+
+func (o *Options) setDefaults() {
+	if o.Conns <= 0 {
+		o.Conns = 2
+	}
+	if o.Window <= 0 {
+		o.Window = 32
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 64
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+}
+
+// call is one op's journey through a connection: filled by the caller,
+// encoded by the writer, completed by the reader (or failed by
+// whichever side hit the error). done has capacity 1, so completion
+// never blocks; calls are pooled.
+type call struct {
+	op   Op
+	res  Result
+	err  error
+	done chan struct{}
+}
+
+var callPool = sync.Pool{
+	New: func() any { return &call{done: make(chan struct{}, 1)} },
+}
+
+func (c *call) complete(err error) {
+	c.err = err
+	c.done <- struct{}{}
+}
+
+// Client is a pool of persistent wire connections with pipelining:
+// each connection has a writer goroutine that coalesces queued ops
+// into batch frames (up to MaxBatch, or whatever is queued when it
+// gets to run) and a reader goroutine that matches Results frames to
+// their batches positionally. Arrive/Depart are safe for concurrent
+// use from any number of goroutines and block until their op's result
+// arrives.
+type Client struct {
+	addr string
+	opts Options
+
+	conns []*clientConn
+	next  atomic.Uint64
+
+	closeOnce sync.Once
+	closed    atomic.Bool
+}
+
+// clientConn is one persistent connection.
+type clientConn struct {
+	nc net.Conn
+
+	// sendq feeds the writer; closing it (under mu's write lock) is
+	// how Close retires the connection without racing senders.
+	mu     sync.RWMutex
+	sendqC bool // sendq closed
+	sendq  chan *call
+
+	// inflight carries each written batch's calls to the reader, in
+	// write order; its capacity is the pipelining window.
+	inflight chan []*call
+
+	dead       atomic.Pointer[error] // first transport error; nil while healthy
+	writerDone chan struct{}
+}
+
+// batchPool recycles the []*call slices that ride the inflight queue.
+var batchPool = sync.Pool{New: func() any { s := make([]*call, 0, 256); return &s }}
+
+// Dial connects the pool and performs the handshake on every
+// connection; it fails fast if any connect or handshake fails.
+func Dial(addr string, opts Options) (*Client, error) {
+	opts.setDefaults()
+	c := &Client{addr: addr, opts: opts}
+	for i := 0; i < opts.Conns; i++ {
+		cc, err := c.dialConn()
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.conns = append(c.conns, cc)
+	}
+	return c, nil
+}
+
+func (c *Client) dialConn() (*clientConn, error) {
+	nc, err := dialAndHandshake(c.addr, c.opts.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	cc := &clientConn{
+		nc:         nc,
+		sendq:      make(chan *call, 4*c.opts.MaxBatch),
+		inflight:   make(chan []*call, c.opts.Window),
+		writerDone: make(chan struct{}),
+	}
+	go cc.writer(&c.opts)
+	go cc.reader()
+	return cc, nil
+}
+
+// dialAndHandshake opens one raw connection and runs the Hello
+// exchange; shared by the pool and the per-request control path
+// (Stats/Ping).
+func dialAndHandshake(addr string, timeout time.Duration) (net.Conn, error) {
+	nc, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetNoDelay(true) // batching is ours, not Nagle's
+	}
+	nc.SetDeadline(time.Now().Add(timeout))
+	if _, err := nc.Write(AppendFrame(nil, FrameHello, AppendHello(nil, Version))); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	br := bufio.NewReader(nc)
+	var payload []byte
+	typ, p, err := readFrame(br, &payload)
+	if err != nil {
+		nc.Close()
+		return nil, err
+	}
+	if typ == FrameError {
+		nc.Close()
+		return nil, fmt.Errorf("wire: server refused handshake: %s", p)
+	}
+	if typ != FrameHello {
+		nc.Close()
+		return nil, fmt.Errorf("wire: expected Hello reply, got frame type %d", typ)
+	}
+	v, err := ParseHello(p)
+	if err != nil {
+		nc.Close()
+		return nil, err
+	}
+	if v != Version {
+		nc.Close()
+		return nil, fmt.Errorf("%w: server v%d, client v%d", ErrVersion, v, Version)
+	}
+	nc.SetDeadline(time.Time{})
+	// The buffered reader may hold bytes past the handshake only if the
+	// server pushed frames unprompted, which it never does before the
+	// first request; hand the raw conn to the connection's own reader.
+	if br.Buffered() != 0 {
+		nc.Close()
+		return nil, errors.New("wire: unexpected data after handshake")
+	}
+	return nc, nil
+}
+
+// deadErr returns the connection's terminal error, if any.
+func (cc *clientConn) deadErr() error {
+	if p := cc.dead.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// setDead records the first terminal error and forces both goroutines
+// off the socket.
+func (cc *clientConn) setDead(err error) {
+	e := err
+	if cc.dead.CompareAndSwap(nil, &e) {
+		cc.nc.Close()
+	}
+}
+
+// writer coalesces queued calls into batch frames. For each batch it
+// first reserves a window slot (inflight <- calls) and only then
+// writes, so the reader can never see a response for a batch it does
+// not know about. It exits when sendq is closed and drained; on a dead
+// connection it keeps consuming sendq, failing calls, so no caller is
+// ever stranded.
+func (cc *clientConn) writer(o *Options) {
+	defer close(cc.writerDone)
+	buf := make([]byte, 0, 64<<10)
+	var timer *time.Timer
+	for first := range cc.sendq {
+		calls := (*batchPool.Get().(*[]*call))[:0]
+		calls = append(calls, first)
+		// Greedy coalesce: take everything already queued, up to the
+		// batch cap.
+	fill:
+		for len(calls) < o.MaxBatch {
+			select {
+			case c, ok := <-cc.sendq:
+				if !ok {
+					break fill
+				}
+				calls = append(calls, c)
+			default:
+				break fill
+			}
+		}
+		// Optional flush window: wait a bounded moment for stragglers.
+		if o.Flush > 0 && len(calls) < o.MaxBatch {
+			if timer == nil {
+				timer = time.NewTimer(o.Flush)
+			} else {
+				timer.Reset(o.Flush)
+			}
+		wait:
+			for len(calls) < o.MaxBatch {
+				select {
+				case c, ok := <-cc.sendq:
+					if !ok {
+						break wait
+					}
+					calls = append(calls, c)
+				case <-timer.C:
+					break wait
+				}
+			}
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+		}
+		if err := cc.deadErr(); err != nil {
+			failBatch(calls, err)
+			continue
+		}
+		buf, _ = BeginFrame(buf[:0], FrameBatch)
+		buf = appendU32(buf, uint32(len(calls)))
+		for _, c := range calls {
+			buf = AppendOp(buf, &c.op)
+		}
+		buf = EndFrame(buf, 0)
+		// Reserve the window slot before writing (order matters; see
+		// above). If the connection died in between, the reader's
+		// cleanup loop fails this batch.
+		cc.inflight <- calls
+		if _, err := cc.nc.Write(buf); err != nil {
+			cc.setDead(err)
+		}
+	}
+}
+
+// reader completes batches in write order from Results frames. On any
+// terminal condition (goaway, read error, peer close) it fails every
+// in-flight batch, cooperating with the writer so each call is
+// completed exactly once.
+func (cc *clientConn) reader() {
+	br := bufio.NewReaderSize(cc.nc, connIOSize)
+	var payload []byte
+	var res Result
+	for {
+		typ, p, err := readFrame(br, &payload)
+		if err != nil {
+			cc.setDead(err)
+			break
+		}
+		switch typ {
+		case FrameResults:
+			if len(p) < 4 {
+				cc.setDead(ErrShortBuffer)
+				break
+			}
+			calls := <-cc.inflight
+			n := int(u32(p))
+			p = p[4:]
+			if n != len(calls) {
+				failBatch(calls, fmt.Errorf("wire: results count %d for batch of %d", n, len(calls)))
+				cc.setDead(fmt.Errorf("wire: desynchronized results frame"))
+				break
+			}
+			bad := false
+			for _, c := range calls {
+				m, err := DecodeResult(p, &res)
+				if err != nil {
+					c.complete(err)
+					bad = true
+					continue
+				}
+				p = p[m:]
+				c.res = res
+				c.complete(ErrorOf(res.Status))
+			}
+			putBatch(calls)
+			if bad {
+				cc.setDead(fmt.Errorf("wire: malformed results frame"))
+			}
+		case FrameGoAway:
+			cc.setDead(ErrGoAway)
+		case FrameError:
+			cc.setDead(fmt.Errorf("wire: server error: %s", p))
+		case FramePong:
+			// Unsolicited on this path; ignore.
+		default:
+			cc.setDead(fmt.Errorf("wire: unexpected frame type %d", typ))
+		}
+		if cc.deadErr() != nil {
+			break
+		}
+	}
+	// Cleanup: fail everything in flight, including batches the writer
+	// pushes while we are tearing down, until the writer has exited.
+	err := cc.deadErr()
+	for {
+		select {
+		case calls := <-cc.inflight:
+			failBatch(calls, err)
+		case <-cc.writerDone:
+			for {
+				select {
+				case calls := <-cc.inflight:
+					failBatch(calls, err)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+func failBatch(calls []*call, err error) {
+	for _, c := range calls {
+		c.complete(err)
+	}
+	putBatch(calls)
+}
+
+func putBatch(calls []*call) {
+	clear(calls)
+	calls = calls[:0]
+	batchPool.Put(&calls)
+}
+
+// enqueue hands a call to the connection, failing fast if the
+// connection is retired or dead.
+func (cc *clientConn) enqueue(c *call) error {
+	cc.mu.RLock()
+	if cc.sendqC {
+		cc.mu.RUnlock()
+		return ErrClientClosed
+	}
+	if err := cc.deadErr(); err != nil {
+		cc.mu.RUnlock()
+		return err
+	}
+	cc.sendq <- c
+	cc.mu.RUnlock()
+	return nil
+}
+
+// retire closes the send queue (the writer drains it and exits) and
+// the socket, then waits for the writer so every queued call has been
+// resolved.
+func (cc *clientConn) retire() {
+	cc.mu.Lock()
+	if !cc.sendqC {
+		cc.sendqC = true
+		close(cc.sendq)
+	}
+	cc.mu.Unlock()
+	cc.setDead(ErrClientClosed)
+	<-cc.writerDone
+}
+
+// do runs one op through the pool and blocks for its result.
+func (c *Client) do(op *Op) (Result, error) {
+	if c.closed.Load() {
+		return Result{}, ErrClientClosed
+	}
+	cc := c.conns[c.next.Add(1)%uint64(len(c.conns))]
+	ca := callPool.Get().(*call)
+	ca.op = *op
+	if err := cc.enqueue(ca); err != nil {
+		ca.op.Sizes = nil
+		callPool.Put(ca)
+		return Result{}, err
+	}
+	<-ca.done
+	res, err := ca.res, ca.err
+	ca.op.Sizes = nil
+	ca.res = Result{}
+	ca.err = nil
+	callPool.Put(ca)
+	return res, err
+}
+
+// Arrive places a job over the wire. A nil t means "now" on the
+// server's service clock. The returned Result carries the server
+// index, opened flag, and applied time on success; a non-OK status
+// surfaces as an *OpError carrying the service's stable error code.
+func (c *Client) Arrive(id item.ID, size float64, sizes []float64, t *float64) (Result, error) {
+	op := Op{Kind: OpArrive, ID: int64(id), Size: size, Sizes: sizes}
+	if t != nil {
+		op.HasTime, op.Time = true, *t
+	}
+	// The call blocks until its result is in, so borrowing the
+	// caller's sizes slice for encoding is safe.
+	return c.do(&op)
+}
+
+// Depart reports a departure over the wire; see Arrive.
+func (c *Client) Depart(id item.ID, t *float64) (Result, error) {
+	op := Op{Kind: OpDepart, ID: int64(id)}
+	if t != nil {
+		op.HasTime, op.Time = true, *t
+	}
+	return c.do(&op)
+}
+
+// Stats fetches service statistics over a short-lived control
+// connection, keeping the persistent pool's response ordering purely
+// positional. It is called at phase boundaries, not on the hot path.
+func (c *Client) Stats() (serve.Stats, error) {
+	var s serve.Stats
+	p, err := c.control(FrameStats, nil, FrameStatsReply)
+	if err != nil {
+		return s, err
+	}
+	if err := json.Unmarshal(p, &s); err != nil {
+		return s, fmt.Errorf("wire: stats payload: %w", err)
+	}
+	return s, nil
+}
+
+// Ping round-trips a payload through the server (echo), for liveness
+// checks and tests.
+func (c *Client) Ping(payload []byte) error {
+	echo, err := c.control(FramePing, payload, FramePong)
+	if err != nil {
+		return err
+	}
+	if string(echo) != string(payload) {
+		return fmt.Errorf("wire: ping echo mismatch")
+	}
+	return nil
+}
+
+// control runs one request/reply exchange on a fresh connection.
+func (c *Client) control(reqType uint8, payload []byte, wantType uint8) ([]byte, error) {
+	if c.closed.Load() {
+		return nil, ErrClientClosed
+	}
+	nc, err := dialAndHandshake(c.addr, c.opts.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	defer nc.Close()
+	nc.SetDeadline(time.Now().Add(30 * time.Second))
+	if _, err := nc.Write(AppendFrame(nil, reqType, payload)); err != nil {
+		return nil, err
+	}
+	br := bufio.NewReader(nc)
+	var buf []byte
+	typ, p, err := readFrame(br, &buf)
+	if err != nil {
+		return nil, err
+	}
+	if typ == FrameError {
+		return nil, fmt.Errorf("wire: server error: %s", p)
+	}
+	if typ != wantType {
+		return nil, fmt.Errorf("wire: expected frame type %d, got %d", wantType, typ)
+	}
+	out := make([]byte, len(p))
+	copy(out, p)
+	return out, nil
+}
+
+// Close retires every connection: queued and in-flight ops fail with
+// ErrClientClosed (or the connection's earlier terminal error), and
+// Close returns once every writer has resolved its queue — no caller
+// is left blocked.
+func (c *Client) Close() error {
+	c.closeOnce.Do(func() {
+		c.closed.Store(true)
+		for _, cc := range c.conns {
+			cc.retire()
+		}
+	})
+	return nil
+}
