@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test quick race vet fmt check serve equivalence bench-ledger bench-ledger-check bench-fleet figures loadtest loadtest-short loadtest-ramp sweep sweep-short fuzz-short bench-wire loadtest-wire duel
+.PHONY: build test quick race vet fmt check serve equivalence bench-ledger bench-ledger-check bench-fleet figures loadtest loadtest-short loadtest-ramp sweep sweep-short fuzz-short bench-wire loadtest-wire duel recover-test durability bench-wal
 
 build:
 	$(GO) build ./...
@@ -100,12 +100,30 @@ bench-fleet:
 bench-wire:
 	$(GO) test -run 'CodecZeroAlloc' -bench Wire -benchmem ./internal/wire/
 
-## fuzz-short: a CI-scale smoke run of the wire codec fuzzers (go's native
-## fuzzing allows one target per invocation)
+## fuzz-short: a CI-scale smoke run of the wire codec and WAL record fuzzers
+## (go's native fuzzing allows one target per invocation)
 fuzz-short:
 	$(GO) test -run '^$$' -fuzz FuzzDecodeOp -fuzztime 5s ./internal/wire/
 	$(GO) test -run '^$$' -fuzz FuzzDecodeResult -fuzztime 5s ./internal/wire/
 	$(GO) test -run '^$$' -fuzz FuzzDecodeBatch -fuzztime 5s ./internal/wire/
+	$(GO) test -run '^$$' -fuzz FuzzDecodeRecord -fuzztime 5s ./internal/wal/
+
+## recover-test: the crash-injection suite — builds a real dbpserved, SIGKILLs
+## it mid-barrage at randomized points, and verifies recovery (triple-entry
+## accounting, bit-identical journal replay, restart idempotence, meta guard)
+recover-test:
+	$(GO) test -run 'CrashRecovery|DataDirConfigGuard' -count=1 -v ./cmd/dbpserved/
+
+## durability: regenerate the fsync-policy cost curve in BENCH_serve.json —
+## the same in-process workload under -fsync none/off/interval/always
+durability:
+	$(GO) run ./cmd/dbpload -fsync-duel -mode open -rate 3000 -warmup 1s -measure 5s \
+		-jobs 60000 -snapshot-every 10000 -o BENCH_serve.json
+
+## bench-wal: the WAL append hot path; TestAppendZeroAlloc asserts 0 allocs/op
+## with fsync off
+bench-wal:
+	$(GO) test -run 'AppendZeroAlloc' -bench Append -benchmem ./internal/wal/
 
 figures:
 	$(GO) run ./cmd/dbpplot

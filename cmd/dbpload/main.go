@@ -17,6 +17,9 @@
 //	# HTTP-vs-wire transport curve against one daemon
 //	dbpload -duel -addr localhost:8080 -wire-addr localhost:9090 -duel-rates 2000,10000,50000
 //
+//	# durability curve: what fsync=always costs over off at p99
+//	dbpload -fsync-duel -rate 20000 -measure 5s -o BENCH_serve.json
+//
 //	# in-process smoke run (no daemon needed), then regression-check
 //	dbpload -target inproc -measure 3s -o BENCH_serve.json
 //	dbpload -target inproc -measure 3s -compare BENCH_serve.json
@@ -70,6 +73,13 @@ func main() {
 		shards     = flag.Int("shards", 0, "inproc: dispatcher shards (0 = GOMAXPROCS)")
 		keepAlive  = flag.Float64("keepalive", 0, "inproc: keep emptied servers open this many time units")
 		queueDepth = flag.Int("queue-depth", 0, "inproc: per-shard request queue depth (0 = default)")
+
+		dataDir       = flag.String("data-dir", "", "inproc: durable WAL directory (empty = in-memory only)")
+		fsync         = flag.String("fsync", "off", "inproc: WAL durability policy for -data-dir: always, interval, or off")
+		snapshotEvery = flag.Int("snapshot-every", 10000, "inproc: durable snapshot every N events per shard")
+
+		fsyncDuel     = flag.Bool("fsync-duel", false, "drive the durability curve over the in-process dispatcher: the same rate under each -fsync-duel-policies WAL policy, journaling to a throwaway directory")
+		fsyncPolicies = flag.String("fsync-duel-policies", "none,off,interval,always", "fsync-duel: comma-separated WAL policies (none = durability off)")
 
 		out     = flag.String("o", "", "results file to write (default BENCH_serve.json, or BENCH_scale.json with -sweep)")
 		compare = flag.String("compare", "", "baseline results file; exit 2 if p99/throughput regress past -tolerance")
@@ -183,6 +193,17 @@ func main() {
 
 	wireOpts := wire.Options{Conns: *conns, Window: *window, MaxBatch: *batch, Flush: *flush}
 
+	inprocCfg := serve.Config{
+		Algorithm: *algo, Shards: *shards, Dim: *dim, KeepAlive: *keepAlive, QueueDepth: *queueDepth,
+		DataDir: *dataDir, Fsync: *fsync, SnapshotEvery: *snapshotEvery,
+	}
+
+	if *fsyncDuel {
+		runFsyncDuel(inprocCfg, *fsyncPolicies, script, workloadLabel,
+			*rate, *clients, *warmup, *measure, *drain, *out, *compare, *tol)
+		return
+	}
+
 	if *duel {
 		runDuel(*addr, *wireAddr, *duelRates, wireOpts, script, workloadLabel,
 			*clients, *warmup, *measure, *drain, *out, *compare, *tol)
@@ -192,7 +213,7 @@ func main() {
 	var tgt load.Target
 	switch *target {
 	case "inproc":
-		d, err := serve.New(serve.Config{Algorithm: *algo, Shards: *shards, Dim: *dim, KeepAlive: *keepAlive, QueueDepth: *queueDepth})
+		d, err := serve.New(inprocCfg)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -355,6 +376,83 @@ func runDuel(addr, wireAddr, ratesCSV string, wireOpts wire.Options, script *loa
 		}
 	}
 	final.Transports = points
+	summarize(final)
+	if out != "" {
+		if err := final.WriteFile(out); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("dbpload: wrote %s", out)
+	}
+	if compare != "" {
+		base, err := load.ReadReport(compare)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if bad := load.Compare(base, final, tol); len(bad) > 0 {
+			for _, b := range bad {
+				log.Printf("dbpload: REGRESSION vs %s: %s", compare, b)
+			}
+			os.Exit(2)
+		}
+		log.Printf("dbpload: no regression vs %s (tolerance %g%%)", compare, tol)
+	}
+}
+
+// runFsyncDuel drives the durability curve: the same workload and rate
+// through a fresh in-process dispatcher per WAL policy ("none" runs
+// without a data dir — the in-memory baseline), each journaling to a
+// throwaway directory. The report is the final policy's full digest
+// with the whole curve attached as Durability, so BENCH_serve.json
+// records what fsync=always costs over fsync=off at p99.
+func runFsyncDuel(baseCfg serve.Config, policiesCSV string, script *load.Script,
+	workloadLabel string, rate float64, clients int, warmup, measure, drain time.Duration,
+	out, compare string, tol float64) {
+	policies := strings.Split(policiesCSV, ",")
+	var points []load.DurabilityPoint
+	var final *load.Report
+	for run, policy := range policies {
+		policy = strings.TrimSpace(policy)
+		cfg := baseCfg
+		cfg.DataDir, cfg.Fsync = "", ""
+		if policy != "none" {
+			dir, err := os.MkdirTemp("", "dbpload-fsync-*")
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer os.RemoveAll(dir)
+			cfg.DataDir, cfg.Fsync = dir, policy
+		}
+		d, err := serve.New(cfg)
+		if err != nil {
+			log.Fatalf("dbpload: fsync-duel %s: %v", policy, err)
+		}
+		rep, err := load.Run(load.Options{
+			Target:        &load.InProc{D: d},
+			Script:        script,
+			Mode:          load.ModeOpen,
+			Rate:          rate,
+			Clients:       clients,
+			Warmup:        warmup,
+			Measure:       measure,
+			Drain:         drain,
+			IDBase:        int64(run+1) * 1_000_000_000_000, // policies must not share job IDs
+			WorkloadLabel: workloadLabel,
+		})
+		if err != nil {
+			d.Close()
+			log.Fatal(err)
+		}
+		d.Close()
+		if derr := d.DurabilityErr(); derr != nil {
+			log.Fatalf("dbpload: fsync-duel %s: durability failure: %v", policy, derr)
+		}
+		p := load.DurabilityPointOf(rep, policy)
+		points = append(points, p)
+		log.Printf("dbpload: fsync-duel %-8s @ %8.0f ops/s: achieved %8.0f, arrive p50=%.0fus p99=%.0fus fsync p99=%.0fus",
+			policy, rate, p.AchievedRate, p.ArriveP50US, p.ArriveP99US, p.FsyncP99US)
+		final = rep
+	}
+	final.Durability = points
 	summarize(final)
 	if out != "" {
 		if err := final.WriteFile(out); err != nil {

@@ -18,10 +18,19 @@
 //
 //	dbpserved -addr :8080 -wire-addr :9090
 //
+// With -data-dir the daemon is durable: every accepted event is
+// appended to a per-shard write-ahead log before its reply (-fsync
+// selects when records reach stable storage), periodic snapshots bound
+// replay length, and a restart on the same directory recovers the
+// exact pre-crash state — the directory refuses to open under
+// different -shards/-dim/-capacity/-keepalive/-algo flags:
+//
+//	dbpserved -data-dir /var/lib/dbp -fsync always -snapshot-every 10000
+//
 // On SIGINT/SIGTERM the daemon drains in order: the wire front end
 // (in-flight batches answered, GoAway delivered), then the HTTP server,
-// then the dispatcher; it logs the final usage-time and peak-servers
-// totals before exiting.
+// then the dispatcher (which rolls a final durable snapshot); it logs
+// the final usage-time and peak-servers totals before exiting.
 package main
 
 import (
@@ -56,6 +65,15 @@ func main() {
 		queue     = flag.Int("queue-depth", 0, "per-shard request queue depth (0 = default); bounds memory under overload")
 		grace     = flag.Duration("grace", 10*time.Second, "shutdown grace period for in-flight requests")
 
+		// Durability: with -data-dir every accepted event is journaled to
+		// a per-shard write-ahead log before its reply, and startup
+		// recovers the exact pre-crash state from snapshot + tail replay.
+		dataDir       = flag.String("data-dir", "", "durable WAL/snapshot directory (empty = in-memory only)")
+		fsync         = flag.String("fsync", "off", "WAL durability policy: always, interval, or off")
+		fsyncInterval = flag.Duration("fsync-interval", 50*time.Millisecond, "background sync period for -fsync interval")
+		snapshotEvery = flag.Int("snapshot-every", 10000, "durable snapshot every N events per shard (0 = only on shutdown)")
+		segmentBytes  = flag.Int64("segment-bytes", 0, "WAL segment rotation size in bytes (0 = default 64MiB)")
+
 		// Connection hygiene: without these a slow (or hostile) client
 		// can hold a connection — and its goroutine — open forever.
 		readTimeout    = flag.Duration("read-timeout", 15*time.Second, "max time to read a full request, headers + body")
@@ -72,15 +90,32 @@ func main() {
 	}
 
 	d, err := serve.New(serve.Config{
-		Algorithm:  *algo,
-		Shards:     *shards,
-		Capacity:   *capacity,
-		Dim:        *dim,
-		KeepAlive:  *keepAlive,
-		QueueDepth: *queue,
+		Algorithm:     *algo,
+		Shards:        *shards,
+		Capacity:      *capacity,
+		Dim:           *dim,
+		KeepAlive:     *keepAlive,
+		QueueDepth:    *queue,
+		DataDir:       *dataDir,
+		Fsync:         *fsync,
+		FsyncInterval: *fsyncInterval,
+		SnapshotEvery: *snapshotEvery,
+		SegmentBytes:  *segmentBytes,
 	})
 	if err != nil {
-		log.Fatal(err)
+		// A configuration mismatch against an existing -data-dir (or a
+		// corrupt sealed segment) is fatal by design: replaying a journal
+		// under the wrong shard count or dimension would silently
+		// misroute every event.
+		log.Fatalf("dbpserved: %v", err)
+	}
+	if *dataDir != "" {
+		var recovered int
+		for _, sh := range d.Stats().PerShard {
+			recovered += sh.Events
+		}
+		log.Printf("dbpserved: durable mode: data-dir %s, fsync %s, snapshot every %d events; recovered %d events",
+			*dataDir, *fsync, *snapshotEvery, recovered)
 	}
 	expvar.Publish("dbpserved", d.ExpvarFunc())
 
@@ -140,6 +175,9 @@ func main() {
 		log.Printf("dbpserved: shutdown: %v", err)
 	}
 	final := d.Close()
+	if err := d.DurabilityErr(); err != nil {
+		log.Printf("dbpserved: WARNING: durability failure during run: %v", err)
+	}
 	log.Printf("dbpserved: final totals — usage time %.6g, peak servers %d, servers used %d, %d still open, %d arrivals, %d departures",
 		final.UsageTime, final.PeakServers, final.ServersUsed, final.OpenServers, final.Arrivals, final.Departures)
 	for _, sh := range final.PerShard {

@@ -35,6 +35,19 @@ func (ix *Index) observeOpen(b *Bin) {
 	ix.lvls.insert(b.Gap(), b.Index)
 }
 
+// restoreClosed occupies the next opening-order slot with an
+// already-closed bin during ledger restore: present in the positional
+// arrays (indices must line up), tombstoned in the gap tree, absent
+// from the level tree — exactly the state remove leaves a closed bin in.
+func (ix *Index) restoreClosed(b *Bin) {
+	if b.Index != len(ix.bins) {
+		panic(fmt.Sprintf("bins: index restore saw bin %d out of order", b.Index))
+	}
+	ix.bins = append(ix.bins, b)
+	ix.tree.add(b.Index)
+	ix.tree.update(b.Index, math.Inf(-1))
+}
+
 // refresh re-reads an open bin's gap after a level change.
 func (ix *Index) refresh(b *Bin) {
 	old := ix.tree.gap(b.Index)

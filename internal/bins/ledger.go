@@ -33,6 +33,11 @@ type Ledger struct {
 	maxConcurrentOpen int
 	closedUsage       float64
 
+	// due is CloseExpired's reusable scratch for the entries expiring in
+	// one call, so batching closures for canonical ordering stays
+	// allocation-free on the steady-state path.
+	due []expiryEntry
+
 	// index, when enabled, is the policy-query index kept coherent by
 	// every mutation below (see Index). Nil for owners that never issue
 	// indexed queries (replay, the linear reference engine).
@@ -89,12 +94,41 @@ func (g *Ledger) Index() *Index { return g.index }
 // the simulator and the streaming dispatcher call CloseExpired on every
 // event — a single peek, and each actual closure O(log B).
 func (g *Ledger) CloseExpired(now float64) int {
-	closed := 0
+	if len(g.expiries) == 0 || g.expiries[0].emptySince+g.keepAlive > now {
+		return 0
+	}
+	// Collect every due closure first and process them in canonical
+	// (emptySince, Index) order. The heap's order among equal emptySince
+	// values depends on insertion history — including stale entries for
+	// revived bins — and the closed-usage accumulator's float bits depend
+	// on summation order, so closing in heap-pop order would make a
+	// ledger restored from a snapshot (whose heap holds only the live
+	// entries) drift from an uninterrupted run by a few ULPs. The
+	// canonical order is history-free.
+	due := g.due[:0]
 	for len(g.expiries) > 0 && g.expiries[0].emptySince+g.keepAlive <= now {
 		e := g.expiries.pop()
-		b := e.bin
-		if !b.Lingering() || b.EmptySince() != e.emptySince {
+		if !e.bin.Lingering() || e.bin.EmptySince() != e.emptySince {
 			continue // stale: the bin was revived after this entry was pushed
+		}
+		due = append(due, e)
+	}
+	// Insertion sort: the batch is almost always tiny (usually one), and
+	// sort.Slice would allocate on the per-event hot path.
+	for i := 1; i < len(due); i++ {
+		for j := i; j > 0 && (due[j].emptySince < due[j-1].emptySince ||
+			(due[j].emptySince == due[j-1].emptySince && due[j].bin.Index < due[j-1].bin.Index)); j-- {
+			due[j], due[j-1] = due[j-1], due[j]
+		}
+	}
+	closed := 0
+	for _, e := range due {
+		b := e.bin
+		// Re-check liveness: a bin that emptied, revived, and emptied
+		// again at the same timestamp has two indistinguishable heap
+		// entries, and the first closure must invalidate the second.
+		if !b.Lingering() || b.EmptySince() != e.emptySince {
+			continue
 		}
 		b.Close(e.emptySince + g.keepAlive)
 		g.closedUsage += b.Usage()
@@ -104,6 +138,10 @@ func (g *Ledger) CloseExpired(now float64) int {
 		}
 		closed++
 	}
+	for i := range due {
+		due[i] = expiryEntry{} // release *Bin references
+	}
+	g.due = due[:0]
 	return closed
 }
 
@@ -148,6 +186,12 @@ func (g *Ledger) NumOpened() int { return len(g.all) }
 // MaxConcurrentOpen returns the peak number of simultaneously open bins
 // observed so far (the classical DBP objective).
 func (g *Ledger) MaxConcurrentOpen() int { return g.maxConcurrentOpen }
+
+// ClosedUsage returns the exact usage accumulated by closed bins — the
+// running float sum durable snapshots serialize verbatim, because
+// recomputing it from closure history would re-order the additions and
+// drift from the live accumulator by ULPs.
+func (g *Ledger) ClosedUsage() float64 { return g.closedUsage }
 
 // OpenNew opens a fresh bin at time t, places the item in it, and returns
 // the bin.

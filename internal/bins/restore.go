@@ -1,0 +1,158 @@
+package bins
+
+import (
+	"fmt"
+	"math"
+
+	"dbp/internal/item"
+)
+
+// RestoredJob is one active job inside a BinRestore: everything the
+// ledger retains about a resident item whose departure is still unknown
+// (the streaming model — Departure is restored as +Inf).
+type RestoredJob struct {
+	ID      item.ID
+	Size    float64
+	Sizes   []float64
+	Arrival float64
+}
+
+// BinRestore describes one open bin for RestoreLedger: its identity,
+// timing, and — critically — its exact accumulated level vector. The
+// level is NOT recomputed from the jobs: a live bin's level is a running
+// float sum over its full placement/removal history, so only the
+// verbatim accumulator makes a restored ledger place future jobs on
+// bit-identical levels.
+type BinRestore struct {
+	Index      int
+	OpenedAt   float64
+	Lingering  bool    // open but empty, awaiting keep-alive expiry
+	EmptySince float64 // valid iff Lingering
+	Levels     []float64
+	Jobs       []RestoredJob
+}
+
+// RestoreLedger rebuilds a ledger from durable snapshot state: the open
+// fleet (ascending by Index), the total number of bins ever opened, the
+// peak concurrency, and the exact closed-usage accumulator. Closed bins
+// are restored as zero-footprint tombstones — their usage lives in
+// closedUsage — occupying their opening-order slots so indices, the
+// positional gap tree, and MaxConcurrentOpen all match the uninterrupted
+// ledger. The result passes CheckInvariants before being returned.
+func RestoreLedger(capacity float64, dim int, keepAlive float64, indexed bool,
+	opened, peak int, closedUsage float64, open []BinRestore) (*Ledger, error) {
+	if dim < 1 {
+		return nil, fmt.Errorf("bins: restore with dim %d", dim)
+	}
+	if capacity <= 0 {
+		return nil, fmt.Errorf("bins: restore with capacity %g", capacity)
+	}
+	if keepAlive < 0 {
+		return nil, fmt.Errorf("bins: restore with negative keep-alive %g", keepAlive)
+	}
+	if len(open) > opened {
+		return nil, fmt.Errorf("bins: restore lists %d open bins but only %d ever opened", len(open), opened)
+	}
+	if peak < len(open) {
+		return nil, fmt.Errorf("bins: restore peak %d below %d open bins", peak, len(open))
+	}
+	g := NewLedgerKeepAlive(capacity, dim, keepAlive)
+	if indexed {
+		g.EnableIndex()
+	}
+	next := 0 // cursor into open (which must be ascending by Index)
+	for i := 0; i < opened; i++ {
+		if next < len(open) && open[next].Index < i {
+			return nil, fmt.Errorf("bins: restore open list out of order at bin %d", open[next].Index)
+		}
+		if next < len(open) && open[next].Index == i {
+			b, err := restoreOpenBin(&open[next], capacity, dim, keepAlive > 0)
+			if err != nil {
+				return nil, err
+			}
+			g.all = append(g.all, b)
+			g.open = append(g.open, b)
+			for _, it := range b.active {
+				if g.location[it.ID] != nil {
+					return nil, fmt.Errorf("bins: restore places job %d in two bins", it.ID)
+				}
+				g.location[it.ID] = b
+			}
+			if b.Lingering() {
+				g.expiries.push(expiryEntry{emptySince: b.emptySince, bin: b})
+			}
+			if g.index != nil {
+				g.index.observeOpen(b)
+			}
+			next++
+			continue
+		}
+		// Tombstone: a bin that opened and closed before the snapshot. Its
+		// usage is inside closedUsage; the placeholder only holds the
+		// opening-order slot (Index == position, closed, never queried).
+		b := &Bin{Index: i, Capacity: capacity, level: make([]float64, dim)}
+		g.all = append(g.all, b)
+		if g.index != nil {
+			g.index.restoreClosed(b)
+		}
+	}
+	if next != len(open) {
+		return nil, fmt.Errorf("bins: restore open bin %d beyond %d ever opened", open[next].Index, opened)
+	}
+	g.maxConcurrentOpen = peak
+	g.closedUsage = closedUsage
+	if err := g.CheckInvariants(); err != nil {
+		return nil, fmt.Errorf("bins: restored ledger is incoherent: %w", err)
+	}
+	return g, nil
+}
+
+// restoreOpenBin reconstructs one open bin verbatim from its snapshot.
+func restoreOpenBin(r *BinRestore, capacity float64, dim int, linger bool) (*Bin, error) {
+	if len(r.Levels) != dim {
+		return nil, fmt.Errorf("bins: restore bin %d has %d level dims, want %d", r.Index, len(r.Levels), dim)
+	}
+	if r.Lingering != (len(r.Jobs) == 0) {
+		return nil, fmt.Errorf("bins: restore bin %d lingering=%v with %d jobs", r.Index, r.Lingering, len(r.Jobs))
+	}
+	b := &Bin{
+		Index:           r.Index,
+		Capacity:        capacity,
+		LingerWhenEmpty: linger,
+		openedAt:        r.OpenedAt,
+		closedAt:        math.NaN(),
+		emptySince:      math.NaN(),
+		level:           append([]float64(nil), r.Levels...),
+		active:          make(map[item.ID]item.Item, len(r.Jobs)),
+	}
+	if r.Lingering {
+		if !linger {
+			return nil, fmt.Errorf("bins: restore bin %d lingers but keep-alive is off", r.Index)
+		}
+		if math.IsNaN(r.EmptySince) || r.EmptySince < r.OpenedAt {
+			return nil, fmt.Errorf("bins: restore bin %d empty since %g, opened at %g", r.Index, r.EmptySince, r.OpenedAt)
+		}
+		b.emptySince = r.EmptySince
+	}
+	for _, jb := range r.Jobs {
+		if _, dup := b.active[jb.ID]; dup {
+			return nil, fmt.Errorf("bins: restore bin %d holds job %d twice", r.Index, jb.ID)
+		}
+		it := item.Item{
+			ID:        jb.ID,
+			Size:      jb.Size,
+			Sizes:     append([]float64(nil), jb.Sizes...),
+			Arrival:   jb.Arrival,
+			Departure: math.Inf(1), // streaming model: unknown until Depart
+		}
+		if len(jb.Sizes) == 0 {
+			it.Sizes = nil
+		}
+		b.active[it.ID] = it
+		// Placement history carries the active jobs only; the departed
+		// ones' history is not needed for any forward operation (Remove
+		// back-annotates by ID, levels are restored verbatim above).
+		b.placements = append(b.placements, Placement{Item: it, At: jb.Arrival})
+	}
+	return b, nil
+}

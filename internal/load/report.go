@@ -67,6 +67,43 @@ func PointOf(rep *Report) TransportPoint {
 	}
 }
 
+// DurabilityPoint is one fsync-policy probe of the durability curve
+// written by dbpload -fsync-duel: the same workload and rate driven
+// through an in-process dispatcher journaling to disk under each WAL
+// policy ("none" = durability off, the in-memory baseline), digested
+// to what the durable-ack premium turns on.
+type DurabilityPoint struct {
+	Fsync         string  `json:"fsync"`
+	RequestedRate float64 `json:"requested_rate"`
+	AchievedRate  float64 `json:"achieved_rate"`
+	ArriveP50US   float64 `json:"arrive_p50_us"`
+	ArriveP99US   float64 `json:"arrive_p99_us"`
+	DepartP99US   float64 `json:"depart_p99_us"`
+	// FsyncP99US is the server-side fsync latency digest (zero when the
+	// policy never syncs on the append path); WalBytes the journal
+	// footprint at run end.
+	FsyncP99US float64 `json:"fsync_p99_us,omitempty"`
+	WalBytes   int64   `json:"wal_bytes,omitempty"`
+}
+
+// DurabilityPointOf digests a finished run into its durability-curve
+// point. fsync names the policy the run's dispatcher journaled under.
+func DurabilityPointOf(rep *Report, fsync string) DurabilityPoint {
+	p := DurabilityPoint{
+		Fsync:         fsync,
+		RequestedRate: rep.RequestedRate,
+		AchievedRate:  rep.AchievedRate,
+		ArriveP50US:   rep.Ops["arrive"].Latency.P50US,
+		ArriveP99US:   rep.Ops["arrive"].Latency.P99US,
+		DepartP99US:   rep.Ops["depart"].Latency.P99US,
+	}
+	if rep.Server != nil && rep.Server.Durability != nil {
+		p.FsyncP99US = rep.Server.Durability.FsyncLatency.P99US
+		p.WalBytes = rep.Server.Durability.WalBytes
+	}
+	return p
+}
+
 // PhaseReport is the throughput accounting of one run phase.
 type PhaseReport struct {
 	DurationSec float64 `json:"duration_sec"`
@@ -123,7 +160,10 @@ type Report struct {
 	// Transports is the HTTP-vs-wire curve from a -duel run: every
 	// (transport, rate) probe, in run order.
 	Transports []TransportPoint `json:"transports,omitempty"`
-	Notes      []string         `json:"notes,omitempty"`
+	// Durability is the fsync-policy curve from a -fsync-duel run: the
+	// same rate driven under each WAL policy, in run order.
+	Durability []DurabilityPoint `json:"durability,omitempty"`
+	Notes      []string          `json:"notes,omitempty"`
 }
 
 // report assembles the Report from per-client results.

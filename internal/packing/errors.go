@@ -28,6 +28,10 @@ var (
 	// overfull bin. This is a policy implementation bug, not a caller
 	// error.
 	ErrPolicyMisplace = errors.New("policy misplacement")
+	// ErrSnapshotMismatch: RestoreStream was handed a snapshot that is
+	// internally inconsistent or does not match the policy/configuration
+	// it is being restored under (durable recovery refuses to guess).
+	ErrSnapshotMismatch = errors.New("snapshot mismatch")
 )
 
 // streamError carries a fully formatted diagnostic message while

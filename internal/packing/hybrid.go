@@ -81,6 +81,41 @@ func (h *HybridFirstFit) Reset() {
 	h.pending = -1
 }
 
+// SaveState implements StatefulAlgorithm: the class tag of every open
+// tagged bin, by index. Closed bins' tags are dropped (Place only ever
+// consults tags of bins on the open list), and pending is never saved —
+// it is -1 between events by construction (BinOpened consumes it within
+// the same arrival that set it).
+func (h *HybridFirstFit) SaveState() PolicyState {
+	st := PolicyState{}
+	for b, c := range h.class {
+		if b.IsOpen() {
+			if st.Class == nil {
+				st.Class = make(map[int]int)
+			}
+			st.Class[b.Index] = c
+		}
+	}
+	return st
+}
+
+// RestoreState implements StatefulAlgorithm.
+func (h *HybridFirstFit) RestoreState(st PolicyState, bin func(int) *bins.Bin) error {
+	h.class = make(map[*bins.Bin]int, len(st.Class))
+	h.pending = -1
+	for i, c := range st.Class {
+		if c < 0 || c >= h.k {
+			return fmt.Errorf("HybridFirstFit(k=%d) state tags server %d with class %d", h.k, i, c)
+		}
+		b := bin(i)
+		if b == nil {
+			return fmt.Errorf("HybridFirstFit state names unknown open server %d", i)
+		}
+		h.class[b] = c
+	}
+	return nil
+}
+
 // HybridNextFit applies Next Fit within each of k harmonic size classes —
 // the classify-then-Next-Fit scheme Kamali & López-Ortiz analyze (cited in
 // Sec. II of the paper as achieving 2mu + O(1) semi-online). One bin per
@@ -123,4 +158,38 @@ func (h *HybridNextFit) BinOpened(b *bins.Bin) {
 func (h *HybridNextFit) Reset() {
 	h.available = make([]*bins.Bin, h.k)
 	h.pending = -1
+}
+
+// SaveState implements StatefulAlgorithm: one slot per class, the open
+// available bin's index or -1. A closed slot is saved as -1, matching
+// Place's own treatment of a closed available bin.
+func (h *HybridNextFit) SaveState() PolicyState {
+	st := PolicyState{Bins: make([]int, h.k)}
+	for c, b := range h.available {
+		st.Bins[c] = -1
+		if b != nil && b.IsOpen() {
+			st.Bins[c] = b.Index
+		}
+	}
+	return st
+}
+
+// RestoreState implements StatefulAlgorithm.
+func (h *HybridNextFit) RestoreState(st PolicyState, bin func(int) *bins.Bin) error {
+	if len(st.Bins) != h.k {
+		return fmt.Errorf("HybridNextFit(k=%d) state has %d class slots", h.k, len(st.Bins))
+	}
+	h.available = make([]*bins.Bin, h.k)
+	h.pending = -1
+	for c, i := range st.Bins {
+		if i < 0 {
+			continue
+		}
+		b := bin(i)
+		if b == nil {
+			return fmt.Errorf("HybridNextFit state names unknown open server %d", i)
+		}
+		h.available[c] = b
+	}
+	return nil
 }

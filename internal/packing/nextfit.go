@@ -1,6 +1,10 @@
 package packing
 
-import "dbp/internal/bins"
+import (
+	"fmt"
+
+	"dbp/internal/bins"
+)
 
 // NextFit is the Next Fit packing algorithm as defined in Sec. VIII of the
 // paper: exactly one bin is "available" for receiving new items at any
@@ -46,3 +50,32 @@ func (nf *NextFit) BinOpened(b *bins.Bin) { nf.available = b }
 
 // Reset implements Algorithm.
 func (nf *NextFit) Reset() { nf.available = nil }
+
+// SaveState implements StatefulAlgorithm: the available bin's index, or
+// nothing. A closed available bin is saved as nothing — Place treats the
+// two identically (first branch fails, bin goes unavailable forever).
+func (nf *NextFit) SaveState() PolicyState {
+	st := PolicyState{}
+	if nf.available != nil && nf.available.IsOpen() {
+		st.Bins = []int{nf.available.Index}
+	}
+	return st
+}
+
+// RestoreState implements StatefulAlgorithm.
+func (nf *NextFit) RestoreState(st PolicyState, bin func(int) *bins.Bin) error {
+	nf.available = nil
+	switch len(st.Bins) {
+	case 0:
+		return nil
+	case 1:
+		b := bin(st.Bins[0])
+		if b == nil {
+			return fmt.Errorf("NextFit state names unknown open server %d", st.Bins[0])
+		}
+		nf.available = b
+		return nil
+	default:
+		return fmt.Errorf("NextFit state lists %d available servers, want at most 1", len(st.Bins))
+	}
+}

@@ -60,6 +60,35 @@ func (nk *NextKFit) BinOpened(b *bins.Bin) { nk.available = append(nk.available,
 // Reset implements Algorithm.
 func (nk *NextKFit) Reset() { nk.available = nil }
 
+// SaveState implements StatefulAlgorithm: the FIFO of still-open
+// available bins by index. Closed bins are dropped, exactly as Place's
+// own liveness sweep would drop them on the next arrival.
+func (nk *NextKFit) SaveState() PolicyState {
+	st := PolicyState{}
+	for _, b := range nk.available {
+		if b.IsOpen() {
+			st.Bins = append(st.Bins, b.Index)
+		}
+	}
+	return st
+}
+
+// RestoreState implements StatefulAlgorithm.
+func (nk *NextKFit) RestoreState(st PolicyState, bin func(int) *bins.Bin) error {
+	if len(st.Bins) > nk.k {
+		return fmt.Errorf("NextKFit(k=%d) state lists %d available servers", nk.k, len(st.Bins))
+	}
+	nk.available = nil
+	for _, i := range st.Bins {
+		b := bin(i)
+		if b == nil {
+			return fmt.Errorf("NextKFit state names unknown open server %d", i)
+		}
+		nk.available = append(nk.available, b)
+	}
+	return nil
+}
+
 // AlmostWorstFit places each item into the second-emptiest fitting bin
 // (falling back to the emptiest when only one fits) — the classical
 // Almost Worst Fit rule, a standard Any Fit baseline whose behaviour

@@ -1,0 +1,148 @@
+package packing
+
+import (
+	"math"
+	"sort"
+
+	"dbp/internal/bins"
+	"dbp/internal/item"
+)
+
+// PolicyState is the serializable retained state of a bounded-state
+// policy: which open servers it holds references to, keyed by server
+// index (the only stable cross-process name for a bin), plus a draw
+// counter for seeded randomized policies. Which fields are meaningful
+// depends on the policy; see each SaveState.
+type PolicyState struct {
+	// Bins is an ordered list of open-server indices (Next Fit's one
+	// available server, Next-k Fit's FIFO, Hybrid Next Fit's per-class
+	// slot with -1 for "none").
+	Bins []int `json:"bins,omitempty"`
+	// Class maps open-server index to size class (Hybrid First Fit).
+	Class map[int]int `json:"class,omitempty"`
+	// Draws counts consumed random draws (Random Fit).
+	Draws uint64 `json:"draws,omitempty"`
+}
+
+// StatefulAlgorithm is implemented by policies whose placement decisions
+// depend on retained references to specific bins (or other evolving
+// state), so that a snapshot can carry the policy along with the fleet.
+// Stateless policies (First Fit, Best Fit, ...) place from the fleet
+// alone and need no save/restore.
+type StatefulAlgorithm interface {
+	Algorithm
+
+	// SaveState captures the policy's current state. References to bins
+	// that have closed are dropped: every policy here treats a closed
+	// retained bin exactly like no bin at all on its next Place, so the
+	// omission is behaviorally invisible.
+	SaveState() PolicyState
+
+	// RestoreState rewinds the policy to a saved state. bin resolves an
+	// open server index to its restored *bins.Bin, returning nil for
+	// unknown indices (which makes RestoreState fail: a saved state may
+	// only reference servers the snapshot listed as open).
+	RestoreState(st PolicyState, bin func(index int) *bins.Bin) error
+}
+
+// RestoreStream rebuilds a stream from a restorable Snapshot so that it
+// continues bit-identically to the stream the snapshot was taken from:
+// identical placements, identical error results, and an identical
+// Snapshot after any common suffix of events. algo must be a fresh
+// instance of the policy named by snap.Policy (it is Reset and then
+// handed snap.PolicyState).
+//
+// Bit-identity holds because nothing float-bearing is recomputed: server
+// levels, the closed-usage accumulator, and every timestamp are restored
+// verbatim, and the one history-dependent ordering (closing several
+// expired servers in one clock advance) is canonicalized by the ledger
+// (see bins.Ledger.CloseExpired).
+func RestoreStream(algo Algorithm, snap Snapshot) (*Stream, error) {
+	kind := EngineKind(snap.Engine)
+	if !kind.valid() {
+		return nil, badEngine(kind)
+	}
+	if kind == "" {
+		kind = EngineIndexed
+	}
+	if snap.Policy != "" && snap.Policy != algo.Name() {
+		return nil, failf(ErrSnapshotMismatch,
+			"packing: snapshot was taken under policy %s, restoring with %s", snap.Policy, algo.Name())
+	}
+	capacity := snap.Capacity
+	if capacity == 0 {
+		capacity = 1
+	}
+	dim := snap.Dim
+	if dim == 0 {
+		dim = 1
+	}
+	if len(snap.Servers) != snap.OpenServers {
+		return nil, failf(ErrSnapshotMismatch,
+			"packing: snapshot lists %d servers but claims %d open", len(snap.Servers), snap.OpenServers)
+	}
+	if snap.Events > 0 && (math.IsNaN(snap.Now) || math.IsInf(snap.Now, 0)) {
+		return nil, failf(ErrSnapshotMismatch, "packing: snapshot clock %g is not finite", snap.Now)
+	}
+	open := make([]bins.BinRestore, len(snap.Servers))
+	for i, sv := range snap.Servers {
+		br := bins.BinRestore{
+			Index:     sv.Index,
+			OpenedAt:  sv.OpenedAt,
+			Lingering: sv.Lingering,
+			Levels:    sv.Levels,
+		}
+		if sv.Lingering {
+			br.EmptySince = sv.EmptySince
+		}
+		if len(sv.Active) > 0 {
+			br.Jobs = make([]bins.RestoredJob, len(sv.Active))
+			for j, jb := range sv.Active {
+				br.Jobs[j] = bins.RestoredJob{
+					ID:      item.ID(jb.ID),
+					Size:    jb.Size,
+					Sizes:   jb.Sizes,
+					Arrival: jb.Arrival,
+				}
+			}
+		}
+		open[i] = br
+	}
+	ledger, err := bins.RestoreLedger(capacity, dim, snap.KeepAlive, kind != EngineLinear,
+		snap.ServersUsed, snap.PeakServers, snap.ClosedUsage, open)
+	if err != nil {
+		return nil, failf(ErrSnapshotMismatch, "packing: %v", err)
+	}
+	// The snapshot's own objective total must reproduce from the restored
+	// accumulators — a cheap end-to-end check that nothing drifted.
+	if got := ledger.TotalUsage(snap.Now); snap.Events > 0 && got != snap.UsageTime {
+		return nil, failf(ErrSnapshotMismatch,
+			"packing: restored usage %v != snapshot usage %v", got, snap.UsageTime)
+	}
+	algo.Reset()
+	e := &engine{algo: algo, ledger: ledger, kind: kind}
+	if kind == EngineLinear {
+		e.fleet = linearFleet{ledger: ledger}
+	} else {
+		e.fleet = indexedFleet{ledger: ledger}
+	}
+	if snap.PolicyState != nil {
+		sa, ok := algo.(StatefulAlgorithm)
+		if !ok {
+			return nil, failf(ErrSnapshotMismatch,
+				"packing: snapshot carries policy state but %s retains none", algo.Name())
+		}
+		bs := ledger.OpenBins()
+		lookup := func(index int) *bins.Bin {
+			i := sort.Search(len(bs), func(i int) bool { return bs[i].Index >= index })
+			if i < len(bs) && bs[i].Index == index {
+				return bs[i]
+			}
+			return nil
+		}
+		if err := sa.RestoreState(*snap.PolicyState, lookup); err != nil {
+			return nil, failf(ErrSnapshotMismatch, "packing: %v", err)
+		}
+	}
+	return &Stream{eng: e, now: snap.Now, nEvent: snap.Events}, nil
+}

@@ -1,5 +1,7 @@
 package packing
 
+import "sort"
+
 // Snapshot is a point-in-time view of a Stream's state: the running
 // objective totals plus one entry per open server. It is a deep copy —
 // safe to retain, serialize, or inspect after the stream has moved on —
@@ -18,6 +20,27 @@ type Snapshot struct {
 	// UsageTime is the accumulated server usage time up to Now — the
 	// MinUsageTime objective, what the tenant pays for.
 	UsageTime float64 `json:"usage_time"`
+
+	// The fields below make the snapshot restorable (RestoreStream):
+	// enough configuration and exact accumulator state that a stream
+	// rebuilt from it continues bit-identically to the original.
+
+	// Policy is the placement policy's name; Engine the engine kind.
+	Policy string `json:"policy,omitempty"`
+	Engine string `json:"engine,omitempty"`
+	// Capacity, Dim, KeepAlive are the stream's fleet configuration.
+	Capacity  float64 `json:"capacity,omitempty"`
+	Dim       int     `json:"dim,omitempty"`
+	KeepAlive float64 `json:"keep_alive,omitempty"`
+	// ClosedUsage is the exact usage accumulated by servers that have
+	// closed — the live float accumulator verbatim, never recomputed
+	// (summation order would change its low bits).
+	ClosedUsage float64 `json:"closed_usage,omitempty"`
+	// PolicyState carries bounded-state policies' retained references
+	// (Next Fit's available server, Hybrid's class tags, Random Fit's
+	// draw counter). Nil for stateless policies.
+	PolicyState *PolicyState `json:"policy_state,omitempty"`
+
 	// Servers describes each currently open server, ascending by Index.
 	Servers []ServerState `json:"servers,omitempty"`
 }
@@ -37,6 +60,22 @@ type ServerState struct {
 	// Lingering reports a keep-alive server that is empty but still
 	// open (and billing) awaiting reuse or expiry.
 	Lingering bool `json:"lingering,omitempty"`
+	// EmptySince is the time a lingering server last emptied — the base
+	// of its keep-alive expiry. Meaningful only when Lingering.
+	EmptySince float64 `json:"empty_since,omitempty"`
+	// Active lists the jobs resident on the server, ascending by ID, so
+	// a restored stream can route their departures.
+	Active []JobState `json:"active,omitempty"`
+}
+
+// JobState describes one resident job inside a ServerState. Departure is
+// absent by construction: the stream is the online model, where a job's
+// departure is unknown until it happens.
+type JobState struct {
+	ID      int64     `json:"id"`
+	Size    float64   `json:"size"`
+	Sizes   []float64 `json:"sizes,omitempty"`
+	Arrival float64   `json:"arrival"`
 }
 
 // UsageTime returns the accumulated server usage time up to the last
@@ -48,8 +87,9 @@ func (s *Stream) UsageTime() float64 { return s.eng.ledger.TotalUsage(s.now) }
 // any that advanced the clock) accepted so far.
 func (s *Stream) Events() int { return s.nEvent }
 
-// Snapshot captures the stream's current totals and per-server state.
-// The result shares no memory with the stream.
+// Snapshot captures the stream's current totals and per-server state —
+// including everything RestoreStream needs to rebuild a stream that
+// continues bit-identically. The result shares no memory with the stream.
 func (s *Stream) Snapshot() Snapshot {
 	open := s.eng.ledger.OpenBins()
 	snap := Snapshot{
@@ -59,11 +99,21 @@ func (s *Stream) Snapshot() Snapshot {
 		ServersUsed: s.eng.ledger.NumOpened(),
 		PeakServers: s.eng.ledger.MaxConcurrentOpen(),
 		UsageTime:   s.eng.ledger.TotalUsage(s.now),
+		Policy:      s.eng.algo.Name(),
+		Engine:      string(s.eng.kind),
+		Capacity:    s.eng.ledger.Capacity(),
+		Dim:         s.eng.ledger.Dim(),
+		KeepAlive:   s.eng.ledger.KeepAlive(),
+		ClosedUsage: s.eng.ledger.ClosedUsage(),
+	}
+	if sa, ok := s.eng.algo.(StatefulAlgorithm); ok {
+		st := sa.SaveState()
+		snap.PolicyState = &st
 	}
 	if len(open) > 0 {
 		snap.Servers = make([]ServerState, len(open))
 		for i, b := range open {
-			snap.Servers[i] = ServerState{
+			sv := ServerState{
 				Index:     b.Index,
 				Level:     b.Level(),
 				Levels:    b.LevelVec(),
@@ -71,6 +121,23 @@ func (s *Stream) Snapshot() Snapshot {
 				OpenedAt:  b.OpenedAt(),
 				Lingering: b.Lingering(),
 			}
+			if sv.Lingering {
+				sv.EmptySince = b.EmptySince()
+			}
+			if sv.Jobs > 0 {
+				items := b.ActiveItems()
+				sv.Active = make([]JobState, len(items))
+				for j, it := range items {
+					sv.Active[j] = JobState{
+						ID:      int64(it.ID),
+						Size:    it.Size,
+						Sizes:   append([]float64(nil), it.Sizes...),
+						Arrival: it.Arrival,
+					}
+				}
+				sort.Slice(sv.Active, func(a, b int) bool { return sv.Active[a].ID < sv.Active[b].ID })
+			}
+			snap.Servers[i] = sv
 		}
 	}
 	return snap

@@ -107,6 +107,15 @@ func (s *Stream) advance(t float64) error {
 	return nil
 }
 
+// Advance feeds a bare clock tick: the event counter increments, the
+// clock moves to t, and due keep-alive expiries are processed — exactly
+// the advance an Arrive/Depart performs before its own checks. Durable
+// recovery (internal/wal) replays ticks for journaled events that
+// advanced the clock but were then rejected (duplicate job, unknown job,
+// bad demand), keeping replayed event counts and expiry processing
+// bit-identical to the original run.
+func (s *Stream) Advance(t float64) error { return s.advance(t) }
+
 // Now returns the time of the last event fed to the stream.
 func (s *Stream) Now() float64 { return s.now }
 

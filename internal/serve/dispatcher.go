@@ -11,6 +11,7 @@
 package serve
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"runtime"
@@ -20,11 +21,19 @@ import (
 
 	"dbp/internal/item"
 	"dbp/internal/packing"
+	"dbp/internal/wal"
 )
 
 // ErrClosed is returned for requests arriving after Close has begun
 // draining the dispatcher; the HTTP layer maps it to 503.
 var ErrClosed = errors.New("serve: dispatcher is shutting down")
+
+// ErrDurability is returned once a shard's write-ahead log has failed:
+// the shard fails stop — its in-memory stream stays consistent with
+// what was acknowledged, but no further writes are accepted, keeping
+// the divergence between memory and disk bounded at the first failed
+// record. The HTTP layer maps it to 503.
+var ErrDurability = errors.New("serve: shard journal failed; shard refuses writes")
 
 // Config configures a Dispatcher.
 type Config struct {
@@ -43,6 +52,9 @@ type Config struct {
 	KeepAlive float64
 	// RecordEvents journals every accepted event per shard (as actually
 	// applied, post clock guard) for audit and replay reconciliation.
+	// With DataDir set, the write-ahead log itself is the journal —
+	// ShardEvents reads the WAL tail and no unbounded in-memory copy is
+	// kept.
 	RecordEvents bool
 	// QueueDepth bounds each shard's request channel (<= 0 means 1024).
 	// A full queue applies backpressure: submitters block until the
@@ -50,8 +62,28 @@ type Config struct {
 	QueueDepth int
 	// Clock overrides the service clock (seconds since some epoch,
 	// non-decreasing). Nil means a monotonic wall clock starting at 0
-	// when the dispatcher is created. Tests inject deterministic time.
+	// when the dispatcher is created (resuming from the recovered
+	// stream clock when a WAL is recovered). Tests inject deterministic
+	// time.
 	Clock func() float64
+
+	// DataDir enables the durable write-ahead journal (internal/wal):
+	// every accepted event is appended to a per-shard segmented log
+	// before its reply is sent, periodic snapshots bound replay length,
+	// and New recovers each shard bit-identically from snapshot + tail.
+	// Empty disables durability (the pre-existing in-memory behavior).
+	DataDir string
+	// Fsync is the WAL durability policy: "always", "interval", or
+	// "off" (the default).
+	Fsync string
+	// FsyncInterval is the background sync period for Fsync="interval".
+	FsyncInterval time.Duration
+	// SnapshotEvery writes a durable shard snapshot every this many
+	// shard events (and truncates covered segments). <= 0 means only
+	// the drain-time snapshot on Close.
+	SnapshotEvery int
+	// SegmentBytes overrides the WAL segment rotation size (testing).
+	SegmentBytes int64
 }
 
 // Event is one journaled shard event, recorded exactly as fed to the
@@ -151,6 +183,22 @@ type shard struct {
 
 	logMu sync.Mutex // guards log: owner appends, ShardEvents copies
 	log   []Event
+
+	// Durability (nil wal means the shard runs in-memory only). The
+	// owner is the only appender; walErr is the shard-level fail-stop
+	// latch (atomic so DurabilityErr can read it from any goroutine).
+	wal            *wal.Log
+	walErr         atomic.Pointer[walFailure]
+	lastSnapEvents int // stream event count the last snapshot covered
+}
+
+// walFailure boxes the first durability error of a poisoned shard.
+type walFailure struct{ err error }
+
+// poison latches the shard's first durability failure; the shard
+// refuses all subsequent writes with ErrDurability.
+func (sh *shard) poison(err error) {
+	sh.walErr.CompareAndSwap(nil, &walFailure{err: err})
 }
 
 // guard clamps a service-assigned timestamp so it never regresses the
@@ -177,6 +225,8 @@ type Dispatcher struct {
 	closing  sync.Once
 	draining atomic.Bool
 	final    atomic.Pointer[Stats] // set once by Close
+
+	store *wal.Store // nil unless Config.DataDir enabled durability
 }
 
 // New creates a sharded dispatcher and starts one owner goroutine per
@@ -195,17 +245,59 @@ func New(cfg Config) (*Dispatcher, error) {
 	if cfg.KeepAlive < 0 {
 		return nil, fmt.Errorf("serve: negative keep-alive %g", cfg.KeepAlive)
 	}
+	if _, err := packing.ByName(cfg.Algorithm); err != nil {
+		return nil, err
+	}
 	d := &Dispatcher{cfg: cfg, shards: make([]*shard, cfg.Shards), start: time.Now()}
 	d.metrics.init()
-	for i := range d.shards {
-		algo, err := packing.ByName(cfg.Algorithm)
+	if cfg.DataDir != "" {
+		pol, err := wal.ParseFsyncPolicy(cfg.Fsync)
 		if err != nil {
 			return nil, err
 		}
+		d.cfg.Fsync = string(pol) // normalized ("" means off) for the stats block
+		// Record the effective configuration (after defaulting) so the
+		// META guard compares what the streams actually run with.
+		meta := wal.Meta{
+			Shards:    cfg.Shards,
+			Dim:       max(cfg.Dim, 1),
+			Capacity:  cfg.Capacity,
+			KeepAlive: cfg.KeepAlive,
+			Algorithm: cfg.Algorithm,
+		}
+		if meta.Capacity <= 0 {
+			meta.Capacity = 1
+		}
+		d.store, err = wal.OpenStore(cfg.DataDir, meta, wal.Options{
+			Fsync:         pol,
+			FsyncInterval: cfg.FsyncInterval,
+			SegmentBytes:  cfg.SegmentBytes,
+		}, func(_ int, dur time.Duration) { d.metrics.observeFsync(dur) })
+		if err != nil {
+			return nil, err
+		}
+	}
+	clockBase := 0.0
+	for i := range d.shards {
+		algo, _ := packing.ByName(cfg.Algorithm)
 		sh := &shard{
-			reqs:   make(chan *request, cfg.QueueDepth),
-			done:   make(chan struct{}),
-			stream: packing.NewStreamKeepAlive(algo, cfg.Capacity, cfg.Dim, cfg.KeepAlive),
+			reqs: make(chan *request, cfg.QueueDepth),
+			done: make(chan struct{}),
+		}
+		if d.store != nil {
+			sh.wal = d.store.Shard(i)
+			stream, err := recoverShard(cfg, algo, sh.wal)
+			if err != nil {
+				d.store.Close()
+				return nil, fmt.Errorf("serve: recovering shard %d: %w", i, err)
+			}
+			sh.stream = stream
+			sh.lastSnapEvents = int(sh.wal.Stats().SnapshotSeq)
+			if stream.Events() > 0 && stream.Now() > clockBase {
+				clockBase = stream.Now()
+			}
+		} else {
+			sh.stream = packing.NewStreamKeepAlive(algo, cfg.Capacity, cfg.Dim, cfg.KeepAlive)
 		}
 		sh.policy, sh.engine = sh.stream.Policy(), sh.stream.Engine()
 		sh.publish(i)
@@ -216,7 +308,11 @@ func New(cfg Config) (*Dispatcher, error) {
 		// time.Since reads Go's monotonic clock, immune to wall-clock
 		// steps; the per-shard guard below still clamps the residual
 		// race between reading the clock and entering the shard queue.
-		d.clock = func() float64 { return time.Since(d.start).Seconds() }
+		// After recovery the clock resumes from the furthest recovered
+		// stream time, so service-assigned timestamps keep advancing
+		// instead of all clamping to the recovered clock.
+		base := clockBase
+		d.clock = func() float64 { return base + time.Since(d.start).Seconds() }
 	}
 	for i, sh := range d.shards {
 		go d.run(i, sh)
@@ -226,6 +322,121 @@ func New(cfg Config) (*Dispatcher, error) {
 
 // NumShards returns the number of shards.
 func (d *Dispatcher) NumShards() int { return len(d.shards) }
+
+// recoverShard rebuilds one shard's stream from its durable log: load
+// the newest snapshot (if any) and restore it bit-identically, then
+// replay the journal tail through the exact entry points the live path
+// uses. Every record's sequence number must equal the stream's event
+// count at the moment it is applied (one record per clock advance, by
+// construction of applyOne), and a replayed arrive/depart must land on
+// the journaled server — any divergence means the directory does not
+// belong to this configuration and recovery refuses to guess.
+func recoverShard(cfg Config, algo packing.Algorithm, log *wal.Log) (*packing.Stream, error) {
+	var s *packing.Stream
+	payload, seq, ok, err := log.LoadSnapshot()
+	if err != nil {
+		return nil, err
+	}
+	if ok {
+		var snap packing.Snapshot
+		if err := json.Unmarshal(payload, &snap); err != nil {
+			return nil, fmt.Errorf("decoding snapshot: %w", err)
+		}
+		if uint64(snap.Events) != seq {
+			return nil, fmt.Errorf("snapshot claims event count %d but covers journal seq %d", snap.Events, seq)
+		}
+		if s, err = packing.RestoreStream(algo, snap); err != nil {
+			return nil, err
+		}
+	} else {
+		s = packing.NewStreamKeepAlive(algo, cfg.Capacity, cfg.Dim, cfg.KeepAlive)
+	}
+	err = log.Replay(uint64(s.Events()), func(seq uint64, r wal.Record) error {
+		if seq != uint64(s.Events()) {
+			return fmt.Errorf("journal gap: record %d applied at stream event %d", seq, s.Events())
+		}
+		switch r.Kind {
+		case wal.KindArrive:
+			srv, _, err := s.Arrive(item.ID(r.ID), r.Size, r.Sizes, r.Time)
+			if err != nil {
+				return fmt.Errorf("replaying arrive seq %d: %w", seq, err)
+			}
+			if srv != int(r.Server) {
+				return fmt.Errorf("replay divergence at seq %d: arrive placed on server %d, journal says %d", seq, srv, r.Server)
+			}
+		case wal.KindDepart:
+			srv, _, err := s.Depart(item.ID(r.ID), r.Time)
+			if err != nil {
+				return fmt.Errorf("replaying depart seq %d: %w", seq, err)
+			}
+			if srv != int(r.Server) {
+				return fmt.Errorf("replay divergence at seq %d: depart from server %d, journal says %d", seq, srv, r.Server)
+			}
+		case wal.KindTick:
+			if err := s.Advance(r.Time); err != nil {
+				return fmt.Errorf("replaying tick seq %d: %w", seq, err)
+			}
+		default:
+			return fmt.Errorf("unknown record kind %d at seq %d", r.Kind, seq)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// walAppend journals one record and, when due, rolls a durable
+// snapshot. A failed append poisons the shard (fail-stop): the record
+// was not acknowledged on disk, so no further writes are accepted.
+// Owner-only.
+func (d *Dispatcher) walAppend(sh *shard, rec *wal.Record) error {
+	if err := sh.wal.Append(rec); err != nil {
+		sh.poison(err)
+		return err
+	}
+	if d.cfg.SnapshotEvery > 0 && sh.stream.Events()-sh.lastSnapEvents >= d.cfg.SnapshotEvery {
+		// The snapshot is an optimization (it bounds replay length); a
+		// failure here still poisons the shard because SaveSnapshot
+		// syncs the journal and a sync failure means lost writes.
+		d.saveShardSnapshot(sh)
+	}
+	return nil
+}
+
+// saveShardSnapshot rolls a durable snapshot of the shard's full stream
+// state and lets the log truncate covered segments. Owner-only.
+func (d *Dispatcher) saveShardSnapshot(sh *shard) {
+	snap := sh.stream.Snapshot()
+	if uint64(snap.Events) != sh.wal.NextSeq() {
+		sh.poison(fmt.Errorf("serve: shard journal out of step: stream at event %d, journal at seq %d", snap.Events, sh.wal.NextSeq()))
+		return
+	}
+	payload, err := json.Marshal(snap)
+	if err != nil {
+		sh.poison(fmt.Errorf("serve: encoding shard snapshot: %w", err))
+		return
+	}
+	if err := sh.wal.SaveSnapshot(uint64(snap.Events), time.Now().UnixNano(), payload); err != nil {
+		sh.poison(err)
+		return
+	}
+	sh.lastSnapEvents = snap.Events
+}
+
+// DurabilityErr reports the first durability failure of any shard, or
+// nil while every journal is healthy (or durability is off). A non-nil
+// value means the affected shards are refusing writes with
+// ErrDurability.
+func (d *Dispatcher) DurabilityErr() error {
+	for _, sh := range d.shards {
+		if f := sh.walErr.Load(); f != nil {
+			return f.err
+		}
+	}
+	return nil
+}
 
 // splitmix64 is the SplitMix64 finalizer: a fixed, well-mixing hash so
 // that job-ID → shard routing is consistent across restarts and spreads
@@ -357,6 +568,13 @@ func (d *Dispatcher) run(si int, sh *shard) {
 			sincePublish = 0
 		}
 	}
+	if sh.wal != nil && sh.walErr.Load() == nil && sh.stream.Events() > sh.lastSnapEvents {
+		// Final snapshot of the pre-shutdown state, taken BEFORE
+		// Shutdown closes lingering keep-alive servers: Shutdown is an
+		// accounting finalization for the exit stats, not a journaled
+		// event, so recovery resumes exactly where live traffic stopped.
+		d.saveShardSnapshot(sh)
+	}
 	sh.stream.Shutdown()
 	sh.publish(si)
 }
@@ -393,21 +611,49 @@ func (d *Dispatcher) apply(si int, sh *shard, req *request) int {
 // envelope paths so both have identical semantics. Owner-only.
 func (d *Dispatcher) applyOne(sh *shard, depart bool, id item.ID, size float64, sizes []float64, at float64, assigned bool) (server int, flag bool, applied float64, err error) {
 	at = sh.guard(at, assigned)
+	if sh.wal != nil && sh.walErr.Load() != nil {
+		d.metrics.reject(ErrDurability)
+		return 0, false, at, ErrDurability
+	}
 	if depart {
 		server, flag, err = sh.stream.Depart(id, at)
 	} else {
 		server, flag, err = sh.stream.Arrive(id, size, sizes, at)
 	}
 	if err != nil {
+		// Every rejection except a time regression already advanced the
+		// shard clock (and may have expired keep-alive servers), so the
+		// journal records a tick for it — replay must reproduce the
+		// advance. A time regression mutated nothing and records nothing.
+		if sh.wal != nil && !errors.Is(err, packing.ErrTimeRegression) {
+			rec := wal.Record{Kind: wal.KindTick, ID: int64(id), Time: at, Server: -1}
+			d.walAppend(sh, &rec) // a failure poisons the shard; this op still reports its rejection
+		}
 		d.metrics.reject(err)
 		return 0, false, at, err
+	}
+	if sh.wal != nil {
+		// Append before reply: the caller's acknowledgment implies the
+		// event is journaled (and, under fsync=always, on disk). If the
+		// journal refuses, the in-memory stream has applied an event the
+		// disk never saw — fail stop and report the write as refused.
+		kind := wal.KindArrive
+		if depart {
+			kind = wal.KindDepart
+		}
+		rec := wal.Record{Kind: kind, ID: int64(id), Time: at, Server: int32(server), Size: size, Sizes: sizes}
+		if werr := d.walAppend(sh, &rec); werr != nil {
+			err = fmt.Errorf("%w: %v", ErrDurability, werr)
+			d.metrics.reject(err)
+			return 0, false, at, err
+		}
 	}
 	if depart {
 		d.metrics.departures.Add(1)
 		if flag {
 			d.metrics.serversClosed.Add(1)
 		}
-		if d.cfg.RecordEvents {
+		if d.cfg.RecordEvents && sh.wal == nil {
 			sh.append(Event{Kind: "depart", ID: id, Time: at, Server: server})
 		}
 	} else {
@@ -415,7 +661,7 @@ func (d *Dispatcher) applyOne(sh *shard, depart bool, id item.ID, size float64, 
 		if flag {
 			d.metrics.serversOpened.Add(1)
 		}
-		if d.cfg.RecordEvents {
+		if d.cfg.RecordEvents && sh.wal == nil {
 			sh.append(Event{Kind: "arrive", ID: id, Size: size, Sizes: sizes, Time: at, Server: server})
 		}
 	}
@@ -448,11 +694,27 @@ func (sh *shard) publish(si int) {
 	})
 }
 
-// ShardEvents returns a copy of shard i's journal (Config.RecordEvents
-// must be on). The journal lists events in the exact order the shard
-// owner applied them; every request that has been answered is present.
+// ShardEvents returns shard i's journal in the exact order the shard
+// owner applied the events. With durability on, it is read back from
+// the write-ahead log's tail — the records since the last snapshot —
+// so memory stays bounded no matter how long the service runs; clock
+// ticks journaled for rejected events are filtered out. Without a WAL
+// it copies the in-memory journal (Config.RecordEvents must be on).
 func (d *Dispatcher) ShardEvents(i int) []Event {
 	sh := d.shards[i]
+	if sh.wal != nil {
+		var out []Event
+		sh.wal.Replay(sh.wal.Stats().SnapshotSeq, func(_ uint64, r wal.Record) error {
+			switch r.Kind {
+			case wal.KindArrive:
+				out = append(out, Event{Kind: "arrive", ID: item.ID(r.ID), Size: r.Size, Sizes: r.Sizes, Time: r.Time, Server: int(r.Server)})
+			case wal.KindDepart:
+				out = append(out, Event{Kind: "depart", ID: item.ID(r.ID), Time: r.Time, Server: int(r.Server)})
+			}
+			return nil
+		})
+		return out
+	}
 	sh.logMu.Lock()
 	defer sh.logMu.Unlock()
 	out := make([]Event, len(sh.log))
@@ -503,6 +765,16 @@ func (d *Dispatcher) Close() Stats {
 		}
 		s := d.Stats()
 		d.final.Store(&s)
+		if d.store != nil {
+			// Owners have exited (final snapshots rolled); releasing the
+			// logs after Stats keeps the durability gauges in the final
+			// snapshot meaningful.
+			if err := d.store.Close(); err != nil {
+				for _, sh := range d.shards {
+					sh.poison(err)
+				}
+			}
+		}
 	})
 	return *d.final.Load()
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 
 	"dbp/internal/item"
 	"dbp/internal/packing"
@@ -101,6 +102,8 @@ func StatusOf(err error) (int, string) {
 		return http.StatusInternalServerError, "policy_misplace" // 500
 	case errors.Is(err, ErrClosed):
 		return http.StatusServiceUnavailable, "shutting_down" // 503
+	case errors.Is(err, ErrDurability):
+		return http.StatusServiceUnavailable, "durability_failed" // 503
 	default:
 		return http.StatusInternalServerError, "internal"
 	}
@@ -113,6 +116,11 @@ func StatusOf(err error) (int, string) {
 //	POST /v1/batch   — apply an ordered op batch; body BatchRequest,
 //	                   reply BatchResponse with one per-op status each
 //	GET  /v1/stats   — service-wide Stats
+//	GET  /v1/snapshot?shard=N — shard N's full stream snapshot
+//	                   (packing.Snapshot), served by the shard owner
+//	GET  /v1/journal?shard=N  — shard N's applied-event journal
+//	                   (ShardEvents: the WAL tail with durability on,
+//	                   the in-memory journal with RecordEvents)
 //	GET  /healthz    — liveness ("ok", or 503 once draining)
 //
 // Responses are JSON; failures carry an ErrorResponse with a stable
@@ -212,6 +220,24 @@ func NewHandler(d *Dispatcher) http.Handler {
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, d.Stats())
 	})
+	mux.HandleFunc("GET /v1/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		i, ok := shardParam(w, r, d)
+		if !ok {
+			return
+		}
+		writeJSON(w, http.StatusOK, d.Snapshot(i))
+	})
+	mux.HandleFunc("GET /v1/journal", func(w http.ResponseWriter, r *http.Request) {
+		i, ok := shardParam(w, r, d)
+		if !ok {
+			return
+		}
+		evs := d.ShardEvents(i)
+		if evs == nil {
+			evs = []Event{} // an empty journal is [], not null
+		}
+		writeJSON(w, http.StatusOK, evs)
+	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		if d.Draining() {
 			writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Code: "shutting_down", Error: ErrClosed.Error()})
@@ -221,6 +247,23 @@ func NewHandler(d *Dispatcher) http.Handler {
 		io.WriteString(w, "ok\n")
 	})
 	return mux
+}
+
+// shardParam parses and bounds-checks the required ?shard=N query
+// parameter, writing the 400 itself on failure.
+func shardParam(w http.ResponseWriter, r *http.Request, d *Dispatcher) (int, bool) {
+	q := r.URL.Query().Get("shard")
+	if q == "" {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Code: "bad_request", Error: "missing shard query parameter"})
+		return 0, false
+	}
+	i, err := strconv.Atoi(q)
+	if err != nil || i < 0 || i >= d.NumShards() {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{
+			Code: "bad_request", Error: fmt.Sprintf("shard %q out of range [0, %d)", q, d.NumShards())})
+		return 0, false
+	}
+	return i, true
 }
 
 // decode parses a JSON request body strictly (unknown fields and

@@ -35,17 +35,27 @@ type metrics struct {
 	rejectRegression atomic.Uint64
 	rejectPolicy     atomic.Uint64
 	rejectClosed     atomic.Uint64
+	rejectDurability atomic.Uint64
 	rejectOther      atomic.Uint64
 
 	latArrive *hist.Hist
 	latDepart *hist.Hist
+	// latFsync digests every fsync on the WAL append path, across
+	// shards: the price of fsync=always (or each interval flush) that
+	// the durability benchmarks compare against fsync=off.
+	latFsync *hist.Hist
 }
 
 // init allocates the latency histograms (called once by New).
 func (m *metrics) init() {
 	m.latArrive = hist.New()
 	m.latDepart = hist.New()
+	m.latFsync = hist.New()
 }
+
+// observeFsync records one WAL fsync's duration (fed by the store's
+// per-shard SyncObserver).
+func (m *metrics) observeFsync(d time.Duration) { m.latFsync.Record(d) }
 
 // observeArrive/observeDepart record one request's service time —
 // dispatch, shard queue wait, and stream work included; rejected
@@ -68,6 +78,8 @@ func (m *metrics) reject(err error) {
 		m.rejectPolicy.Add(1)
 	case errors.Is(err, ErrClosed):
 		m.rejectClosed.Add(1)
+	case errors.Is(err, ErrDurability):
+		m.rejectDurability.Add(1)
 	default:
 		m.rejectOther.Add(1)
 	}
@@ -110,7 +122,29 @@ type Stats struct {
 	PeakServers int     `json:"peak_servers"`
 	UsageTime   float64 `json:"usage_time"`
 
+	// Durability is present only when the dispatcher runs with a
+	// write-ahead log (Config.DataDir set).
+	Durability *DurabilityStats `json:"durability,omitempty"`
+
 	PerShard []ShardStats `json:"per_shard"`
+}
+
+// DurabilityStats is the service-wide durability gauge block.
+type DurabilityStats struct {
+	DataDir       string `json:"data_dir"`
+	Fsync         string `json:"fsync"`
+	SnapshotEvery int    `json:"snapshot_every,omitempty"`
+	// WalSegments/WalBytes sum the live journal footprint over shards
+	// (snapshots truncate covered segments, so this is the replay debt,
+	// not lifetime traffic).
+	WalSegments int   `json:"wal_segments"`
+	WalBytes    int64 `json:"wal_bytes"`
+	// FsyncLatency digests every fsync on the append path, all shards
+	// (microseconds) — the durable-ack premium of fsync=always.
+	FsyncLatency hist.Summary `json:"fsync_latency"`
+	// Error surfaces the first shard journal failure; the affected
+	// shards are refusing writes (fail-stop).
+	Error string `json:"error,omitempty"`
 }
 
 // ShardStats is one shard's contribution to Stats.
@@ -126,6 +160,16 @@ type ShardStats struct {
 	ServersUsed int     `json:"servers_used"`
 	PeakServers int     `json:"peak_servers"`
 	UsageTime   float64 `json:"usage_time"`
+
+	// Durability gauges, present only when the shard has a WAL: live
+	// journal footprint, the next journal sequence (== Events), the
+	// event count the newest durable snapshot covers, and that
+	// snapshot's age. Read live from the log, not from the gauge.
+	WalSegments        int     `json:"wal_segments,omitempty"`
+	WalBytes           int64   `json:"wal_bytes,omitempty"`
+	JournalSeq         uint64  `json:"journal_seq,omitempty"`
+	SnapshotSeq        uint64  `json:"snapshot_seq,omitempty"`
+	SnapshotAgeSeconds float64 `json:"snapshot_age_seconds,omitempty"`
 }
 
 // Stats assembles the current service-wide statistics from the gauges
@@ -146,13 +190,14 @@ func (d *Dispatcher) Stats() Stats {
 		PerShard:      make([]ShardStats, len(d.shards)),
 	}
 	rejected := map[string]uint64{
-		"duplicate_job":   d.metrics.rejectDuplicate.Load(),
-		"unknown_job":     d.metrics.rejectUnknown.Load(),
-		"bad_demand":      d.metrics.rejectBadDemand.Load(),
-		"time_regression": d.metrics.rejectRegression.Load(),
-		"policy":          d.metrics.rejectPolicy.Load(),
-		"shutting_down":   d.metrics.rejectClosed.Load(),
-		"other":           d.metrics.rejectOther.Load(),
+		"duplicate_job":     d.metrics.rejectDuplicate.Load(),
+		"unknown_job":       d.metrics.rejectUnknown.Load(),
+		"bad_demand":        d.metrics.rejectBadDemand.Load(),
+		"time_regression":   d.metrics.rejectRegression.Load(),
+		"policy":            d.metrics.rejectPolicy.Load(),
+		"shutting_down":     d.metrics.rejectClosed.Load(),
+		"durability_failed": d.metrics.rejectDurability.Load(),
+		"other":             d.metrics.rejectOther.Load(),
 	}
 	s.Rejected = make(map[string]uint64)
 	for k, v := range rejected {
@@ -164,6 +209,18 @@ func (d *Dispatcher) Stats() Stats {
 		"arrive": d.metrics.latArrive.Summary(),
 		"depart": d.metrics.latDepart.Summary(),
 	}
+	if d.store != nil {
+		s.Durability = &DurabilityStats{
+			DataDir:       d.cfg.DataDir,
+			Fsync:         d.cfg.Fsync,
+			SnapshotEvery: d.cfg.SnapshotEvery,
+			FsyncLatency:  d.metrics.latFsync.Summary(),
+		}
+		if err := d.DurabilityErr(); err != nil {
+			s.Durability.Error = err.Error()
+		}
+	}
+	now := time.Now().UnixNano()
 	for i, sh := range d.shards {
 		g := sh.gauge.Load()
 		s.PerShard[i] = *g
@@ -172,6 +229,19 @@ func (d *Dispatcher) Stats() Stats {
 		s.PeakServers += g.PeakServers
 		s.UsageTime += g.UsageTime
 		s.Engine = g.Engine
+		if sh.wal != nil {
+			w := sh.wal.Stats()
+			ps := &s.PerShard[i]
+			ps.WalSegments = w.Segments
+			ps.WalBytes = w.Bytes
+			ps.JournalSeq = w.NextSeq
+			ps.SnapshotSeq = w.SnapshotSeq
+			if w.HasSnapshot && w.SnapshotTime > 0 {
+				ps.SnapshotAgeSeconds = float64(now-w.SnapshotTime) / 1e9
+			}
+			s.Durability.WalSegments += w.Segments
+			s.Durability.WalBytes += w.Bytes
+		}
 	}
 	if s.UptimeSeconds > 0 {
 		s.EventsPerSecond = float64(s.Arrivals+s.Departures) / s.UptimeSeconds

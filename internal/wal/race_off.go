@@ -1,0 +1,8 @@
+//go:build !race
+
+package wal
+
+// raceEnabled reports whether the race detector is on; the
+// zero-allocation assertions are skipped under -race, which disables
+// the inlining those guarantees depend on.
+const raceEnabled = false

@@ -1,0 +1,6 @@
+//go:build race
+
+package wal
+
+// raceEnabled reports whether the race detector is on.
+const raceEnabled = true

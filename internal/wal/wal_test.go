@@ -1,0 +1,493 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// sampleRecords covers every kind and both demand shapes.
+func sampleRecords(n int) []Record {
+	recs := make([]Record, 0, n)
+	for i := 0; len(recs) < n; i++ {
+		t := float64(i) * 0.25
+		switch i % 4 {
+		case 0:
+			recs = append(recs, Record{Kind: KindArrive, ID: int64(i), Time: t, Server: int32(i % 7), Size: 0.25 + float64(i%3)*0.125})
+		case 1:
+			recs = append(recs, Record{Kind: KindArrive, ID: int64(i), Time: t, Server: 2, Size: 0.5, Sizes: []float64{0.5, 0.125, 0.0625}})
+		case 2:
+			recs = append(recs, Record{Kind: KindDepart, ID: int64(i - 2), Time: t, Server: int32(i % 5)})
+		default:
+			recs = append(recs, Record{Kind: KindTick, ID: int64(i), Time: t, Server: -1})
+		}
+	}
+	return recs
+}
+
+func appendAll(t *testing.T, l *Log, recs []Record) {
+	t.Helper()
+	for i := range recs {
+		if err := l.Append(&recs[i]); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+}
+
+func replayAll(t *testing.T, l *Log, from uint64) []Record {
+	t.Helper()
+	var got []Record
+	next := from
+	if err := l.Replay(from, func(seq uint64, r Record) error {
+		if seq != next {
+			t.Fatalf("replay seq %d, want %d", seq, next)
+		}
+		next++
+		got = append(got, r)
+		return nil
+	}); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return got
+}
+
+// TestAppendReplayRoundTrip pins the basic property: what goes in comes
+// back, in order, with exact float bits, across a close/reopen.
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Fsync: FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := sampleRecords(100)
+	appendAll(t, l, recs)
+	if got := replayAll(t, l, 0); !reflect.DeepEqual(got, recs) {
+		t.Fatalf("live replay differs") //nolint
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.NextSeq() != 100 {
+		t.Fatalf("reopened NextSeq = %d, want 100", l2.NextSeq())
+	}
+	if got := replayAll(t, l2, 0); !reflect.DeepEqual(got, recs) {
+		t.Fatal("reopened replay differs")
+	}
+	if got := replayAll(t, l2, 60); !reflect.DeepEqual(got, recs[60:]) {
+		t.Fatal("tail replay differs")
+	}
+}
+
+// TestRotationAndChain forces tiny segments and checks the chain
+// reopens contiguously.
+func TestRotationAndChain(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := sampleRecords(200)
+	appendAll(t, l, recs)
+	st := l.Stats()
+	if st.Segments < 3 {
+		t.Fatalf("got %d segments, wanted rotation", st.Segments)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(dir, Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if got := replayAll(t, l2, 0); !reflect.DeepEqual(got, recs) {
+		t.Fatal("replay across segments differs")
+	}
+	appendAll(t, l2, recs[:10]) // the reopened tail must accept appends
+	if l2.NextSeq() != 210 {
+		t.Fatalf("NextSeq = %d, want 210", l2.NextSeq())
+	}
+}
+
+// TestSnapshotCoversAndTruncates saves a snapshot mid-log and checks
+// covered sealed segments are deleted while replay from the snapshot
+// seq still works.
+func TestSnapshotCoversAndTruncates(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	recs := sampleRecords(200)
+	appendAll(t, l, recs)
+	before := l.Stats()
+	seq := l.NextSeq()
+	if err := l.SaveSnapshot(seq, 12345, []byte(`{"state":"s"}`)); err != nil {
+		t.Fatal(err)
+	}
+	after := l.Stats()
+	if after.Segments >= before.Segments {
+		t.Fatalf("segments %d -> %d: snapshot did not truncate", before.Segments, after.Segments)
+	}
+	if !after.HasSnapshot || after.SnapshotSeq != seq || after.SnapshotTime != 12345 {
+		t.Fatalf("snapshot stats = %+v", after)
+	}
+	payload, gotSeq, ok, err := l.LoadSnapshot()
+	if err != nil || !ok || gotSeq != seq || string(payload) != `{"state":"s"}` {
+		t.Fatalf("LoadSnapshot = %q seq %d ok %v err %v", payload, gotSeq, ok, err)
+	}
+	appendAll(t, l, recs[:20])
+	if got := replayAll(t, l, seq); !reflect.DeepEqual(got, recs[:20]) {
+		t.Fatal("tail after snapshot differs")
+	}
+	// Snapshot regression is refused.
+	if err := l.SaveSnapshot(seq-1, 1, nil); err == nil {
+		t.Fatal("regressing snapshot accepted")
+	}
+	// Reopen adopts the snapshot and the remaining chain.
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(dir, Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if st := l2.Stats(); !st.HasSnapshot || st.SnapshotSeq != seq {
+		t.Fatalf("reopened snapshot stats = %+v", st)
+	}
+	if got := replayAll(t, l2, seq); !reflect.DeepEqual(got, recs[:20]) {
+		t.Fatal("reopened tail differs")
+	}
+}
+
+// TestTornWriteTruncated chops bytes off the final record and expects
+// recovery to stop cleanly at the last whole frame — and to accept new
+// appends from there.
+func TestTornWriteTruncated(t *testing.T) {
+	recs := sampleRecords(50)
+	for _, cut := range []int64{1, 3, 7} {
+		dir := t.TempDir()
+		l, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		appendAll(t, l, recs)
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+		segs, _ := filepath.Glob(filepath.Join(dir, "*"+segSuffix))
+		if len(segs) != 1 {
+			t.Fatalf("got %d segments", len(segs))
+		}
+		fi, err := os.Stat(segs[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Truncate(segs[0], fi.Size()-cut); err != nil {
+			t.Fatal(err)
+		}
+		l2, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatalf("cut %d: reopen: %v", cut, err)
+		}
+		if l2.NextSeq() != uint64(len(recs)-1) {
+			t.Fatalf("cut %d: NextSeq = %d, want %d", cut, l2.NextSeq(), len(recs)-1)
+		}
+		if got := replayAll(t, l2, 0); !reflect.DeepEqual(got, recs[:len(recs)-1]) {
+			t.Fatalf("cut %d: torn replay differs", cut)
+		}
+		appendAll(t, l2, recs[len(recs)-1:])
+		if got := replayAll(t, l2, 0); !reflect.DeepEqual(got, recs) {
+			t.Fatalf("cut %d: append-after-truncate replay differs", cut)
+		}
+		l2.Close()
+	}
+}
+
+// TestCorruptBitFlipTruncatesTail flips a byte inside the final record:
+// the CRC must catch it and recovery discards that record.
+func TestCorruptBitFlipTruncatesTail(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := sampleRecords(10)
+	appendAll(t, l, recs)
+	l.Close()
+	segs, _ := filepath.Glob(filepath.Join(dir, "*"+segSuffix))
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-5] ^= 0x40
+	if err := os.WriteFile(segs[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l2.Close()
+	if l2.NextSeq() != 9 {
+		t.Fatalf("NextSeq = %d, want 9", l2.NextSeq())
+	}
+}
+
+// TestCorruptSealedSegmentIsFatal: damage in a non-final segment is not
+// a torn tail and must refuse to open rather than silently drop data.
+func TestCorruptSealedSegmentIsFatal(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, sampleRecords(200))
+	if l.Stats().Segments < 2 {
+		t.Fatal("wanted at least two segments")
+	}
+	l.Close()
+	segs, _ := filepath.Glob(filepath.Join(dir, "*"+segSuffix))
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-5] ^= 0x40
+	if err := os.WriteFile(segs[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{SegmentBytes: 256}); err == nil {
+		t.Fatal("corrupt sealed segment accepted")
+	}
+}
+
+// TestIntervalAndObserver exercises the background syncer and the
+// latency observer hook.
+func TestIntervalAndObserver(t *testing.T) {
+	var syncs int
+	done := make(chan struct{})
+	l, err := Open(t.TempDir(), Options{
+		Fsync:         FsyncInterval,
+		FsyncInterval: time.Millisecond,
+		SyncObserver: func(time.Duration) {
+			syncs++
+			if syncs == 2 {
+				close(done)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, sampleRecords(4))
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("interval syncer never fired")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStoreMetaGuard pins the satellite bugfix: reopening a data dir
+// under different shard count / dim / policy flags is refused with a
+// descriptive error.
+func TestStoreMetaGuard(t *testing.T) {
+	dir := t.TempDir()
+	meta := Meta{Shards: 4, Dim: 2, Capacity: 1, KeepAlive: 0.5, Algorithm: "firstfit"}
+	st, err := OpenStore(dir, meta, Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Meta().Version != metaVersion {
+		t.Fatalf("meta version = %d", st.Meta().Version)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Matching flags reopen fine.
+	st, err = OpenStore(dir, meta, Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	for _, tc := range []struct {
+		mutate func(*Meta)
+		want   string
+	}{
+		{func(m *Meta) { m.Shards = 8 }, "shard count"},
+		{func(m *Meta) { m.Dim = 1 }, "dimension"},
+		{func(m *Meta) { m.Capacity = 2 }, "capacity"},
+		{func(m *Meta) { m.KeepAlive = 0 }, "keep-alive"},
+		{func(m *Meta) { m.Algorithm = "bestfit" }, "algorithm"},
+	} {
+		bad := meta
+		tc.mutate(&bad)
+		if _, err := OpenStore(dir, bad, Options{}, nil); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("mismatched %s: err = %v", tc.want, err)
+		}
+	}
+}
+
+// TestStoreObserverRoutesShards checks per-shard fsync observation.
+func TestStoreObserverRoutesShards(t *testing.T) {
+	saw := make(map[int]int)
+	st, err := OpenStore(t.TempDir(), Meta{Shards: 2, Dim: 1, Capacity: 1, Algorithm: "firstfit"},
+		Options{Fsync: FsyncAlways}, func(shard int, d time.Duration) { saw[shard]++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	r := Record{Kind: KindTick, ID: 1, Time: 1, Server: -1}
+	if err := st.Shard(0).Append(&r); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Shard(1).Append(&r); err != nil {
+		t.Fatal(err)
+	}
+	if saw[0] != 1 || saw[1] != 1 {
+		t.Fatalf("observer saw %v", saw)
+	}
+}
+
+// TestAppendZeroAlloc is the acceptance pin: with fsync=off, appending
+// a scalar or vector record from the shard owner hot path performs no
+// allocations (mirrors wire's TestCodecZeroAlloc).
+func TestAppendZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc accounting is unreliable under -race")
+	}
+	l, err := Open(t.TempDir(), Options{Fsync: FsyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	scalar := Record{Kind: KindArrive, ID: 42, Time: 1.5, Server: 3, Size: 0.375}
+	vector := Record{Kind: KindArrive, ID: 43, Time: 1.75, Server: 4, Size: 0.5, Sizes: []float64{0.5, 0.25}}
+	depart := Record{Kind: KindDepart, ID: 42, Time: 2, Server: 3}
+	tick := Record{Kind: KindTick, ID: 0, Time: 2.5, Server: -1}
+	// Warm up the scratch buffer and the bufio writer.
+	for _, r := range []*Record{&scalar, &vector, &depart, &tick} {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		l.Append(&scalar)
+		l.Append(&vector)
+		l.Append(&depart)
+		l.Append(&tick)
+	}); n != 0 {
+		t.Fatalf("Append allocates %v allocs/op, want 0", n)
+	}
+}
+
+// BenchmarkAppend reports the per-record append cost per fsync policy.
+func BenchmarkAppend(b *testing.B) {
+	for _, pol := range []FsyncPolicy{FsyncOff, FsyncInterval, FsyncAlways} {
+		b.Run(string(pol), func(b *testing.B) {
+			l, err := Open(b.TempDir(), Options{Fsync: pol})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer l.Close()
+			r := Record{Kind: KindArrive, ID: 1, Time: 1, Server: 0, Size: 0.5}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r.ID = int64(i)
+				if err := l.Append(&r); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestParseFsyncPolicy covers the flag parser.
+func TestParseFsyncPolicy(t *testing.T) {
+	for in, want := range map[string]FsyncPolicy{
+		"always": FsyncAlways, "Interval": FsyncInterval, "off": FsyncOff, "": FsyncOff,
+	} {
+		got, err := ParseFsyncPolicy(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseFsyncPolicy(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseFsyncPolicy("sometimes"); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+}
+
+// TestFailStop pins the sticky-failure contract: once the underlying
+// file is gone, the first failing sync poisons the log and every later
+// append reports the same error.
+func TestFailStop(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Fsync: FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Record{Kind: KindTick, ID: 1, Time: 1, Server: -1}
+	if err := l.Append(&r); err != nil {
+		t.Fatal(err)
+	}
+	// Yank the file out from under the writer.
+	l.mu.Lock()
+	l.f.Close()
+	l.mu.Unlock()
+	var first error
+	for i := 0; i < 3 && first == nil; i++ {
+		first = l.Append(&r) // bufio may absorb one write before flushing
+	}
+	if first == nil {
+		t.Fatal("append kept succeeding on a closed file")
+	}
+	if err := l.Append(&r); !errors.Is(err, first) && err.Error() != first.Error() {
+		t.Fatalf("sticky error changed: %v then %v", first, err)
+	}
+	if l.Err() == nil {
+		t.Fatal("Err() is nil after failure")
+	}
+}
+
+// TestRecordEncodingStable pins the on-disk byte layout so format
+// drift is caught (the durable format is a compatibility surface).
+func TestRecordEncodingStable(t *testing.T) {
+	buf, err := appendRecord(nil, &Record{Kind: KindDepart, ID: 0x0102030405060708, Time: 1.0, Server: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const wantHex = "16000000" // depart body = fixedLen = 22 = 0x16
+	got := fmt.Sprintf("%x", buf[:4])
+	if got != wantHex {
+		t.Fatalf("length prefix %s, want %s", got, wantHex)
+	}
+	if buf[8] != byte(KindDepart) || buf[9] != 0 {
+		t.Fatalf("kind/flags = %x %x", buf[8], buf[9])
+	}
+	// id little-endian
+	if fmt.Sprintf("%x", buf[10:18]) != "0807060504030201" {
+		t.Fatalf("id bytes = %x", buf[10:18])
+	}
+	// time 1.0 = 0x3ff0000000000000 LE
+	if fmt.Sprintf("%x", buf[18:26]) != "000000000000f03f" {
+		t.Fatalf("time bytes = %x", buf[18:26])
+	}
+	if fmt.Sprintf("%x", buf[26:30]) != "09000000" {
+		t.Fatalf("server bytes = %x", buf[26:30])
+	}
+}
