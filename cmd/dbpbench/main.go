@@ -17,11 +17,17 @@
 // configuration whose ns/event regressed beyond -tolerance percent is a
 // violation, and the process exits 2 (same contract as dbpload -compare).
 //
+// The -dims axis measures the same matrix on d-dimensional (DVBP)
+// workloads: the indexed engine answers vector placements from the
+// per-dimension gap trees and the dominant-resource treap, so its
+// ns/event scaling ratio must stay materially below the linear engine's
+// for every d.
+//
 // Examples:
 //
 //	dbpbench
 //	dbpbench -policies firstfit,bestfit,worstfit -engines indexed,linear
-//	dbpbench -sizes 10000,100000 -keepalive 0.5 -reps 5 -o BENCH_ledger.json
+//	dbpbench -sizes 10000,100000 -dims 1,2,4 -keepalive 0.5 -reps 5 -o BENCH_ledger.json
 //	dbpbench -compare BENCH_ledger.json -tolerance 25
 package main
 
@@ -36,19 +42,23 @@ import (
 	"time"
 
 	"dbp"
+	"dbp/internal/item"
 	"dbp/internal/packing"
+	"dbp/internal/workload"
 )
 
 // schemaVersion identifies the report layout. Version 2 added the
-// per-run "policy" field and the policy/engine scaling keys.
-const schemaVersion = 2
+// per-run "policy" field and the policy/engine scaling keys; version 3
+// added the dimensionality axis ("dim" per run, d=<d> in all keys).
+const schemaVersion = 3
 
-// runRecord is one (policy, engine, jobs, keep-alive) measurement: the
-// minimum wall time over the configured repetitions, normalized per
+// runRecord is one (policy, engine, dim, jobs, keep-alive) measurement:
+// the minimum wall time over the configured repetitions, normalized per
 // event.
 type runRecord struct {
 	Policy     string  `json:"policy"`
 	Engine     string  `json:"engine"`
+	Dim        int     `json:"dim"`
 	Jobs       int     `json:"jobs"`
 	KeepAlive  float64 `json:"keep_alive"`
 	Events     int     `json:"events"`
@@ -60,7 +70,7 @@ type runRecord struct {
 
 // key identifies the configuration of a run for baseline comparison.
 func (r runRecord) key() string {
-	return fmt.Sprintf("%s/%s/n=%d/ka=%g", r.Policy, r.Engine, r.Jobs, r.KeepAlive)
+	return fmt.Sprintf("%s/%s/d=%d/n=%d/ka=%g", r.Policy, r.Engine, r.Dim, r.Jobs, r.KeepAlive)
 }
 
 type report struct {
@@ -70,9 +80,10 @@ type report struct {
 	Seed        int64       `json:"seed"`
 	Reps        int         `json:"reps"`
 	Runs        []runRecord `json:"runs"`
-	// Scaling maps "policy/engine/ka=<v>" to ns/event at the largest job
-	// count divided by ns/event at the smallest. O(log B) engines stay
-	// near 1; O(B)-per-event paths track the size ratio itself.
+	// Scaling maps "policy/engine/d=<d>/ka=<v>" to ns/event at the
+	// largest job count divided by ns/event at the smallest. O(log B)
+	// engines stay near 1; O(B)-per-event paths track the size ratio
+	// itself.
 	Scaling map[string]float64 `json:"ns_per_event_scaling"`
 }
 
@@ -82,11 +93,12 @@ func main() {
 
 	var (
 		sizesFlag = flag.String("sizes", "10000,100000", "comma-separated job counts (fleet size scales with each)")
+		dimsFlag  = flag.String("dims", "1,2,4", "comma-separated resource dimensionalities (d > 1 draws vector demands)")
 		keepAlive = flag.Float64("keepalive", 0.5, "keep-alive duration for the lingering-server runs")
 		mu        = flag.Float64("mu", 8, "duration ratio bound of the generated workload")
 		seed      = flag.Int64("seed", 1, "workload seed")
 		reps      = flag.Int("reps", 3, "repetitions per configuration (minimum wall time is reported)")
-		policies  = flag.String("policies", "firstfit,bestfit,worstfit", "comma-separated policies to measure (see dbpexp -list for names)")
+		policies  = flag.String("policies", "firstfit,bestfit,worstfit,drworstfit", "comma-separated policies to measure (see dbpexp -list for names)")
 		engines   = flag.String("engines", "indexed,linear", "engines to measure: indexed (BinIndex queries), linear (O(B) reference scans)")
 		out       = flag.String("o", "BENCH_ledger.json", "output path for the JSON report ('-' for stdout)")
 		compare   = flag.String("compare", "", "baseline report; exit 2 if any matching run's ns/event regresses past -tolerance")
@@ -95,6 +107,10 @@ func main() {
 	flag.Parse()
 
 	sizes, err := parseSizes(*sizesFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dims, err := parseSizes(*dimsFlag)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -112,21 +128,23 @@ func main() {
 			log.Fatal(err)
 		}
 		for _, engine := range splitList(*engines) {
-			for _, ka := range []float64{0, *keepAlive} {
-				var recs []runRecord
-				for _, n := range sizes {
-					r, err := measure(policy, engine, n, ka, *mu, *seed, *reps)
-					if err != nil {
-						log.Fatal(err)
+			for _, d := range dims {
+				for _, ka := range []float64{0, *keepAlive} {
+					var recs []runRecord
+					for _, n := range sizes {
+						r, err := measure(policy, engine, d, n, ka, *mu, *seed, *reps)
+						if err != nil {
+							log.Fatal(err)
+						}
+						fmt.Fprintf(os.Stderr, "%-10s %-8s d=%d n=%-8d ka=%-4g %8.1f ns/event  (%d bins, peak %d)\n",
+							policy, engine, d, n, ka, r.NsPerEvent, r.BinsOpened, r.PeakOpen)
+						recs = append(recs, r)
 					}
-					fmt.Fprintf(os.Stderr, "%-9s %-8s n=%-8d ka=%-4g %8.1f ns/event  (%d bins, peak %d)\n",
-						policy, engine, n, ka, r.NsPerEvent, r.BinsOpened, r.PeakOpen)
-					recs = append(recs, r)
-				}
-				rep.Runs = append(rep.Runs, recs...)
-				if len(recs) > 1 {
-					rep.Scaling[fmt.Sprintf("%s/%s/ka=%g", policy, engine, ka)] =
-						recs[len(recs)-1].NsPerEvent / recs[0].NsPerEvent
+					rep.Runs = append(rep.Runs, recs...)
+					if len(recs) > 1 {
+						rep.Scaling[fmt.Sprintf("%s/%s/d=%d/ka=%g", policy, engine, d, ka)] =
+							recs[len(recs)-1].NsPerEvent / recs[0].NsPerEvent
+					}
 				}
 			}
 		}
@@ -162,9 +180,14 @@ func main() {
 
 // measure runs one configuration reps times and keeps the fastest run
 // (minimum wall time filters scheduler noise, the usual benchmark rule).
-func measure(policy, engine string, n int, keepAlive, mu float64, seed int64, reps int) (runRecord, error) {
-	jobs := dbp.GenerateUniform(n, float64(n)/100, mu, seed)
-	rec := runRecord{Policy: policy, Engine: engine, Jobs: n, KeepAlive: keepAlive, Events: 2 * n}
+func measure(policy, engine string, dim, n int, keepAlive, mu float64, seed int64, reps int) (runRecord, error) {
+	var jobs item.List
+	if dim > 1 {
+		jobs = workload.GenerateVec(workload.UniformConfig(n, float64(n)/100, mu, seed), dim)
+	} else {
+		jobs = dbp.GenerateUniform(n, float64(n)/100, mu, seed)
+	}
+	rec := runRecord{Policy: policy, Engine: engine, Dim: dim, Jobs: n, KeepAlive: keepAlive, Events: 2 * n}
 	for i := 0; i < reps; i++ {
 		algo, err := dbp.AlgorithmByName(policy)
 		if err != nil {

@@ -149,8 +149,9 @@ type ack struct {
 // the daemon once killAfter ops have been acknowledged. Returns every
 // acknowledged op. No op is ever rejectable (unique IDs, service-clock
 // times, fitting sizes), so the journal holds no tick records and the
-// accounting below is exact.
-func barrage(t *testing.T, d *daemon, nOps, killAfter int, seed int64) []ack {
+// accounting below is exact. dim > 1 sends vector demands ("sizes"),
+// exercising WAL round-trips of per-dimension vectors.
+func barrage(t *testing.T, d *daemon, nOps, killAfter int, seed int64, dim int) []ack {
 	t.Helper()
 	const clients = 8
 	var (
@@ -182,7 +183,17 @@ func barrage(t *testing.T, d *daemon, nOps, killAfter int, seed int64) []ack {
 					path = "/v1/depart"
 				} else {
 					id = item.ID(int64(c)*1_000_000 + int64(i) + 1)
-					body, _ = json.Marshal(map[string]any{"id": id, "size": 0.05 + 0.4*rng.Float64()})
+					size := 0.05 + 0.4*rng.Float64()
+					req := map[string]any{"id": id, "size": size}
+					if dim > 1 {
+						sizes := make([]float64, dim)
+						sizes[0] = size
+						for k := 1; k < dim; k++ {
+							sizes[k] = size * rng.Float64()
+						}
+						req["sizes"] = sizes
+					}
+					body, _ = json.Marshal(req)
 					path = "/v1/arrive"
 				}
 				res, err := http.Post(d.base+path, "application/json", bytes.NewReader(body))
@@ -249,23 +260,27 @@ func TestCrashRecoverySIGKILL(t *testing.T) {
 	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
 	for round := 0; round < 2; round++ {
 		round := round
+		// Round 0 is the scalar daemon; round 1 runs 2-dimensional,
+		// covering WAL persistence and crash recovery of vector demands.
+		dim := round + 1
 		t.Run(fmt.Sprintf("round%d", round), func(t *testing.T) {
 			dataDir := filepath.Join(t.TempDir(), "data")
 			const nOps = 10000
 			killAfter := 1000 + rng.Intn(8000) // randomized crash point
-			t.Logf("killing daemon after %d acknowledged ops", killAfter)
+			t.Logf("killing daemon after %d acknowledged ops (dim %d)", killAfter, dim)
 
 			// -snapshot-every 0: no mid-run snapshot, so the recovered
 			// journal endpoint exposes every record ever written and the
 			// accounting below can be exact. Round 1 below covers the
 			// snapshotting path.
-			d1 := startDaemon(t, bin, dataDir, "-snapshot-every", "0")
-			acks := barrage(t, d1, nOps, killAfter, int64(round)*7919+1)
+			dimArg := fmt.Sprintf("%d", dim)
+			d1 := startDaemon(t, bin, dataDir, "-snapshot-every", "0", "-dim", dimArg)
+			acks := barrage(t, d1, nOps, killAfter, int64(round)*7919+1, dim)
 			if len(acks) == 0 {
 				t.Fatal("barrage acknowledged nothing before the kill")
 			}
 
-			d2 := startDaemon(t, bin, dataDir, "-snapshot-every", "0")
+			d2 := startDaemon(t, bin, dataDir, "-snapshot-every", "0", "-dim", dimArg)
 			defer func() { d2.kill(t) }()
 			journals, snaps := fetchShardState(t, d2, 3)
 
@@ -316,7 +331,7 @@ func TestCrashRecoverySIGKILL(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				ref := packing.NewStreamKeepAlive(algo, 1, 1, 0.2)
+				ref := packing.NewStreamKeepAlive(algo, 1, dim, 0.2)
 				for _, ev := range j {
 					if ev.Kind == "depart" {
 						if _, _, err := ref.Depart(ev.ID, ev.Time); err != nil {
@@ -334,7 +349,15 @@ func TestCrashRecoverySIGKILL(t *testing.T) {
 			}
 
 			// The recovered daemon accepts new traffic.
-			body, _ := json.Marshal(map[string]any{"id": 99_000_000 + round, "size": 0.1})
+			probe := map[string]any{"id": 99_000_000 + round, "size": 0.1}
+			if dim > 1 {
+				sizes := make([]float64, dim)
+				for k := range sizes {
+					sizes[k] = 0.1
+				}
+				probe["sizes"] = sizes
+			}
+			body, _ := json.Marshal(probe)
 			res, err := http.Post(d2.base+"/v1/arrive", "application/json", bytes.NewReader(body))
 			if err != nil {
 				t.Fatal(err)
@@ -367,7 +390,7 @@ func TestCrashRecoveryWithSnapshots(t *testing.T) {
 	t.Logf("killing daemon after %d acknowledged ops", killAfter)
 
 	d1 := startDaemon(t, bin, dataDir, "-snapshot-every", "256")
-	acks := barrage(t, d1, 10000, killAfter, 42)
+	acks := barrage(t, d1, 10000, killAfter, 42, 1)
 
 	d2 := startDaemon(t, bin, dataDir, "-snapshot-every", "256")
 	var stats serve.Stats

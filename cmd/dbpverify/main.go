@@ -6,9 +6,16 @@
 // cross-engine consistency of the indexed and linear placement engines.
 // It is the "trust but verify" tool for traces produced elsewhere.
 //
+// With -dim > 1 the workload carries vector demands and the run becomes
+// a DVBP verification: the scalar-only analyses (Sec. IV/V identities,
+// Theorem 1) do not apply and are skipped, and instead EVERY vector
+// policy is checked for bit-identical agreement between the
+// d-dimensional index and the linear reference engine.
+//
 // Examples:
 //
 //	dbpverify -gen uniform -n 300 -mu 8
+//	dbpverify -gen uniform -n 300 -dim 2
 //	dbpverify -trace jobs.csv -algo bestfit
 package main
 
@@ -39,6 +46,7 @@ func main() {
 		rate      = flag.Float64("rate", 2, "arrival rate (with -gen)")
 		mu        = flag.Float64("mu", 8, "duration ratio bound")
 		seed      = flag.Int64("seed", 1, "random seed (with -gen)")
+		dim       = flag.Int("dim", 1, "resource dimensionality (with -gen; > 1 runs the DVBP verification)")
 		assignIn  = flag.String("assign", "", "verify an external assignment CSV (id,bin,size,arrival,departure) instead of running a policy")
 	)
 	flag.Parse()
@@ -48,7 +56,7 @@ func main() {
 		return
 	}
 
-	jobs, err := cliutil.LoadJobs(*tracePath, cliutil.GenSpec{Kind: *gen, N: *n, Rate: *rate, Mu: *mu, Seed: *seed})
+	jobs, err := cliutil.LoadJobs(*tracePath, cliutil.GenSpec{Kind: *gen, N: *n, Rate: *rate, Mu: *mu, Seed: *seed, Dim: *dim})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -76,15 +84,40 @@ func main() {
 	}
 	check("physical re-verification", res.Verify())
 
-	dec := analysis.Decompose(res)
-	check("Sec. IV identities (V/W, span)", dec.Verify())
+	if *dim > 1 {
+		// DVBP verification: the paper's Sec. IV/V identities and
+		// Theorem 1 are scalar theory, so the d-dimensional run instead
+		// pins what the vector engine guarantees — every vector policy
+		// packs bit-identically on the d-dimensional index and the
+		// linear reference engine.
+		for name := range packing.Vector() {
+			vAlgo, err := packing.ByName(name)
+			if err != nil {
+				log.Fatal(err)
+			}
+			vIdx, err := packing.Run(vAlgo, jobs, &packing.Options{Engine: packing.EngineIndexed, Validate: true})
+			if err != nil {
+				check("vector engine consistency: "+name, err)
+				continue
+			}
+			vLin, err := packing.Run(vAlgo, jobs, &packing.Options{Engine: packing.EngineLinear})
+			if err != nil {
+				check("vector engine consistency: "+name, err)
+				continue
+			}
+			check("vector engine consistency: "+name, sameResult(vIdx, vLin))
+		}
+	} else {
+		dec := analysis.Decompose(res)
+		check("Sec. IV identities (V/W, span)", dec.Verify())
 
-	if res.Algorithm == "FirstFit" {
-		sps := analysis.SubperiodsOf(res)
-		check("Sec. V propositions 3-6", analysis.VerifySubperiods(res, sps))
-		groups := analysis.BuildLGroups(sps, analysis.DefaultSupplierParams())
-		census := analysis.CheckSupplierDisjointness(groups)
-		fmt.Printf("info  supplier census: %s\n", census.String())
+		if res.Algorithm == "FirstFit" {
+			sps := analysis.SubperiodsOf(res)
+			check("Sec. V propositions 3-6", analysis.VerifySubperiods(res, sps))
+			groups := analysis.BuildLGroups(sps, analysis.DefaultSupplierParams())
+			census := analysis.CheckSupplierDisjointness(groups)
+			fmt.Printf("info  supplier census: %s\n", census.String())
+		}
 	}
 
 	// res ran on the default indexed engine; the linear reference engine
@@ -96,14 +129,18 @@ func main() {
 		check("indexed/linear engine consistency", sameResult(res, lin))
 	}
 
-	b := opt.TotalParallel(jobs, 0, 0, 0)
-	bound := analysis.FirstFitUpperBound(jobs.Mu())
-	if res.Algorithm == "FirstFit" && res.TotalUsage > bound*b.Upper+1e-6 {
-		check("Theorem 1 bound", fmt.Errorf("usage %g > (mu+4)*OPT_upper %g", res.TotalUsage, bound*b.Upper))
+	if *dim > 1 {
+		fmt.Printf("info  %s; dim = %d\n", res.String(), *dim)
 	} else {
-		check("Theorem 1 bound", nil)
+		b := opt.TotalParallel(jobs, 0, 0, 0)
+		bound := analysis.FirstFitUpperBound(jobs.Mu())
+		if res.Algorithm == "FirstFit" && res.TotalUsage > bound*b.Upper+1e-6 {
+			check("Theorem 1 bound", fmt.Errorf("usage %g > (mu+4)*OPT_upper %g", res.TotalUsage, bound*b.Upper))
+		} else {
+			check("Theorem 1 bound", nil)
+		}
+		fmt.Printf("info  %s; OPT in [%.6g, %.6g]; mu = %.4g\n", res.String(), b.Lower, b.Upper, jobs.Mu())
 	}
-	fmt.Printf("info  %s; OPT in [%.6g, %.6g]; mu = %.4g\n", res.String(), b.Lower, b.Upper, jobs.Mu())
 
 	if failures > 0 {
 		log.Fatalf("%d checks failed", failures)

@@ -118,6 +118,24 @@ func (b *Bin) LevelVec() []float64 {
 // Gap returns the remaining scalar capacity, Capacity - Level.
 func (b *Bin) Gap() float64 { return b.Capacity - b.Level() }
 
+// GapAt returns the remaining capacity in dimension d, Capacity -
+// level[d]. GapAt(0) == Gap().
+func (b *Bin) GapAt(d int) float64 { return b.Capacity - b.level[d] }
+
+// MinGap returns the smallest per-dimension gap — the remaining capacity
+// of the bin's dominant (most loaded) resource, the scalarization the
+// dominant-resource Worst Fit family maximizes. For 1-D bins it equals
+// Gap().
+func (b *Bin) MinGap() float64 {
+	min := b.Capacity - b.level[0]
+	for _, lv := range b.level[1:] {
+		if g := b.Capacity - lv; g < min {
+			min = g
+		}
+	}
+	return min
+}
+
 // NumActive returns the number of items currently in the bin.
 func (b *Bin) NumActive() int { return len(b.active) }
 
@@ -127,10 +145,15 @@ func (b *Bin) Dim() int { return len(b.level) }
 // Fits reports whether the item can be placed without exceeding capacity in
 // any dimension (with Eps tolerance).
 func (b *Bin) Fits(it item.Item) bool {
-	if !b.IsOpen() {
-		return false
-	}
-	v := it.SizeVec()
+	return b.IsOpen() && b.FitsDemand(it.SizeVec())
+}
+
+// FitsDemand reports whether a raw demand vector can be placed without
+// exceeding capacity in any dimension (with Eps tolerance). It is the
+// single admission comparison every vector placement path shares — the
+// linear reference scans, the indexed engine's pruned tree descent, and
+// Fits above — so the engines cannot disagree on a borderline demand.
+func (b *Bin) FitsDemand(v []float64) bool {
 	if len(v) != len(b.level) {
 		return false
 	}

@@ -12,15 +12,47 @@ import (
 // every OpenNew/PlaceIn/Remove/CloseExpired, so every query below is
 // O(log B) against the live fleet with no per-policy bookkeeping.
 //
-// Gaps are scalar (first dimension); the queries are meaningful for 1-D
-// demands only, which is why vector placements stay on the linear path
-// (see internal/packing). All comparisons are exact — no epsilon — so
-// query answers are order-independent and reproducible; callers fold
-// their tolerance into `need` (conventionally size - Eps).
+// The scalar structures cover first-dimension gaps, which is exact for
+// 1-D demands; callers fold their tolerance into `need` (conventionally
+// size - Eps), and all scalar comparisons are exact — no epsilon — so
+// query answers are order-independent and reproducible.
+//
+// For d > 1 the index additionally maintains two vector structures:
+//
+//   - vtree, a stride-d segment tree of per-dimension range-maximum gaps,
+//     which answers the positional vector queries (FirstFittingVec,
+//     LastFittingVec, EachFitting) by pruned descent: a subtree is
+//     skipped as soon as one dimension's maximum cannot accommodate the
+//     demand, and each surviving leaf is verified with the exact
+//     Bin.FitsDemand comparison — so the answers are bit-identical to a
+//     linear scan of the open list, with the tree acting purely as an
+//     accelerator (O(log B) when few bins fit, degrading gracefully to
+//     the linear visit order when many do).
+//   - dlvls, a treap keyed by (MinGap, index) — the dominant-resource
+//     scalarization of the gap vector — which answers MaxMinGapFitting
+//     (dominant-resource Worst Fit) by walking gap groups downward from
+//     the emptiest, again verifying each candidate exactly.
 type Index struct {
 	bins []*Bin // by Index; closed bins stay (tombstoned)
 	tree gapTree
 	lvls levelTree
+
+	dim   int
+	vtree *vecGapTree // per-dimension max-gap tree; nil unless dim > 1
+	dlvls levelTree   // (MinGap, index) treap; empty unless dim > 1
+
+	// Reusable query scratch (the index is single-writer, like its ledger).
+	need  []float64
+	stack []int
+}
+
+// newIndex creates an index for a ledger of the given dimensionality.
+func newIndex(dim int) *Index {
+	ix := &Index{dim: dim}
+	if dim > 1 {
+		ix.vtree = &vecGapTree{dim: dim}
+	}
+	return ix
 }
 
 // observeOpen tracks a freshly opened bin (called by the ledger after the
@@ -33,12 +65,17 @@ func (ix *Index) observeOpen(b *Bin) {
 	ix.tree.add(b.Index)
 	ix.tree.update(b.Index, b.Gap())
 	ix.lvls.insert(b.Gap(), b.Index)
+	if ix.vtree != nil {
+		ix.vtree.add(b.Index)
+		ix.vtree.update(b.Index, b)
+		ix.dlvls.insert(ix.vtree.minGapAt(b.Index), b.Index)
+	}
 }
 
 // restoreClosed occupies the next opening-order slot with an
 // already-closed bin during ledger restore: present in the positional
-// arrays (indices must line up), tombstoned in the gap tree, absent
-// from the level tree — exactly the state remove leaves a closed bin in.
+// arrays (indices must line up), tombstoned in the gap trees, absent
+// from the level trees — exactly the state remove leaves a closed bin in.
 func (ix *Index) restoreClosed(b *Bin) {
 	if b.Index != len(ix.bins) {
 		panic(fmt.Sprintf("bins: index restore saw bin %d out of order", b.Index))
@@ -46,18 +83,30 @@ func (ix *Index) restoreClosed(b *Bin) {
 	ix.bins = append(ix.bins, b)
 	ix.tree.add(b.Index)
 	ix.tree.update(b.Index, math.Inf(-1))
+	if ix.vtree != nil {
+		ix.vtree.add(b.Index)
+		ix.vtree.tombstone(b.Index)
+	}
 }
 
-// refresh re-reads an open bin's gap after a level change.
+// refresh re-reads an open bin's gaps after a level change. The treap
+// keys to delete are read back from the tree leaves (the exact floats
+// inserted last time), never recomputed from the bin.
 func (ix *Index) refresh(b *Bin) {
 	old := ix.tree.gap(b.Index)
-	g := b.Gap()
-	if g == old {
-		return
+	if g := b.Gap(); g != old {
+		ix.tree.update(b.Index, g)
+		ix.lvls.delete(old, b.Index)
+		ix.lvls.insert(g, b.Index)
 	}
-	ix.tree.update(b.Index, g)
-	ix.lvls.delete(old, b.Index)
-	ix.lvls.insert(g, b.Index)
+	if ix.vtree != nil {
+		oldMin := ix.vtree.minGapAt(b.Index)
+		ix.vtree.update(b.Index, b)
+		if newMin := ix.vtree.minGapAt(b.Index); newMin != oldMin {
+			ix.dlvls.delete(oldMin, b.Index)
+			ix.dlvls.insert(newMin, b.Index)
+		}
+	}
 }
 
 // remove untracks a bin that closed.
@@ -65,6 +114,11 @@ func (ix *Index) remove(b *Bin) {
 	old := ix.tree.gap(b.Index)
 	ix.tree.update(b.Index, math.Inf(-1))
 	ix.lvls.delete(old, b.Index)
+	if ix.vtree != nil {
+		oldMin := ix.vtree.minGapAt(b.Index)
+		ix.vtree.tombstone(b.Index)
+		ix.dlvls.delete(oldMin, b.Index)
+	}
 }
 
 // FirstFitting returns the earliest-opened bin with gap >= need, or nil
@@ -132,6 +186,128 @@ func (ix *Index) SecondEmptiestFitting(need float64) *Bin {
 	return ix.bins[ix.lvls.ceil(p.gap, 0).idx]
 }
 
+// EachFitting calls visit for every open bin that can accommodate the
+// raw demand vector (Bin.FitsDemand, Eps applied internally), in
+// ascending opening order, stopping early when visit returns false. It
+// is the enumeration primitive score-minimizing vector policies (Best
+// Fit variants, dot-product, norm-based) are built from: the tree
+// descent prunes whole ranges of bins that cannot fit, and the visit
+// order matches a linear scan of the open list exactly.
+func (ix *Index) EachFitting(sizes []float64, visit func(*Bin) bool) {
+	ix.eachFitting(sizes, false, visit)
+}
+
+// FirstFittingVec returns the earliest-opened bin fitting the demand
+// vector, or nil — the vector First Fit query.
+func (ix *Index) FirstFittingVec(sizes []float64) *Bin {
+	var out *Bin
+	ix.eachFitting(sizes, false, func(b *Bin) bool { out = b; return false })
+	return out
+}
+
+// LastFittingVec returns the latest-opened bin fitting the demand
+// vector, or nil — the vector Last Fit query.
+func (ix *Index) LastFittingVec(sizes []float64) *Bin {
+	var out *Bin
+	ix.eachFitting(sizes, true, func(b *Bin) bool { out = b; return false })
+	return out
+}
+
+// eachFitting is the pruned depth-first descent behind the positional
+// vector queries; desc flips the child order for highest-index-first
+// enumeration. For 1-D fleets the scalar gap tree plays the role of the
+// vector tree (same pruning rule, stride 1); the leaf test is always the
+// exact FitsDemand the linear reference applies, so the enumeration is
+// bit-identical to scanning the open list.
+func (ix *Index) eachFitting(sizes []float64, desc bool, visit func(*Bin) bool) {
+	need := ix.need[:0]
+	for _, s := range sizes {
+		need = append(need, s-2*Eps)
+	}
+	ix.need = need
+	var (
+		size int
+		nLvs int
+	)
+	if ix.dim > 1 {
+		if ix.vtree == nil || ix.vtree.size == 0 {
+			return
+		}
+		size, nLvs = ix.vtree.size, ix.vtree.n
+	} else {
+		if ix.tree.size == 0 {
+			return
+		}
+		size, nLvs = ix.tree.size, ix.tree.n
+	}
+	mayFit := func(p int) bool {
+		if ix.dim > 1 {
+			return ix.vtree.mayFit(p, need)
+		}
+		// Scalar pruning uses only the first dimension's threshold; any
+		// extra components of an ill-dimensioned demand are rejected by
+		// FitsDemand at the leaves.
+		return ix.tree.node[p] >= need[0]
+	}
+	stack := append(ix.stack[:0], 1)
+	for len(stack) > 0 {
+		p := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if !mayFit(p) {
+			continue
+		}
+		if p >= size {
+			if i := p - size; i < nLvs {
+				if b := ix.bins[i]; b.FitsDemand(sizes) && !visit(b) {
+					ix.stack = stack[:0]
+					return
+				}
+			}
+			continue
+		}
+		if desc {
+			stack = append(stack, 2*p, 2*p+1)
+		} else {
+			stack = append(stack, 2*p+1, 2*p)
+		}
+	}
+	ix.stack = stack[:0]
+}
+
+// MaxMinGapFitting returns the fitting bin with the largest MinGap —
+// the emptiest dominant resource — ties toward the earliest opened, or
+// nil if no open bin fits (the dominant-resource Worst Fit query). It
+// walks (MinGap, index) groups downward from the emptiest, verifying
+// each candidate with the exact FitsDemand test, and stops once a
+// group's MinGap cannot accommodate even the demand's smallest
+// component (below that, no bin can fit: the dimension attaining MinGap
+// would already overflow).
+func (ix *Index) MaxMinGapFitting(sizes []float64) *Bin {
+	t := &ix.lvls
+	if ix.dim > 1 {
+		t = &ix.dlvls
+	}
+	minNeed := math.Inf(1)
+	for _, s := range sizes {
+		if s < minNeed {
+			minNeed = s
+		}
+	}
+	minNeed -= 2 * Eps
+	for m := t.max(); m != nil; m = t.floorBelowGap(m.gap) {
+		g := m.gap
+		if g < minNeed {
+			return nil
+		}
+		for n := t.ceil(g, 0); n != nil && n.gap == g; n = t.ceil(g, n.idx+1) {
+			if b := ix.bins[n.idx]; b.FitsDemand(sizes) {
+				return b
+			}
+		}
+	}
+	return nil
+}
+
 // checkCoherent verifies the index against the ledger's open list; the
 // ledger's CheckInvariants calls it when the index is enabled.
 func (ix *Index) checkCoherent(open []*Bin) error {
@@ -147,15 +323,35 @@ func (ix *Index) checkCoherent(open []*Bin) error {
 		if !ix.lvls.contains(b.Gap(), b.Index) {
 			return fmt.Errorf("level tree missing open bin %d (gap %g)", b.Index, b.Gap())
 		}
+		if ix.vtree != nil {
+			for d := 0; d < ix.dim; d++ {
+				if g := ix.vtree.gap(b.Index, d); g != b.GapAt(d) {
+					return fmt.Errorf("vector index gap for bin %d dim %d is %g, want %g", b.Index, d, g, b.GapAt(d))
+				}
+			}
+			if key := ix.vtree.minGapAt(b.Index); !ix.dlvls.contains(key, b.Index) {
+				return fmt.Errorf("dominant-resource tree missing open bin %d (min gap %g)", b.Index, key)
+			}
+		}
 	}
-	for i, b := range ix.bins {
-		if !inOpen[i] && !math.IsInf(ix.tree.gap(i), -1) {
+	for i := range ix.bins {
+		if inOpen[i] {
+			continue
+		}
+		if !math.IsInf(ix.tree.gap(i), -1) {
 			return fmt.Errorf("closed bin %d not tombstoned in gap tree (gap %g)", i, ix.tree.gap(i))
 		}
-		_ = b
+		if ix.vtree != nil && !math.IsInf(ix.vtree.minGapAt(i), -1) {
+			return fmt.Errorf("closed bin %d not tombstoned in vector gap tree", i)
+		}
 	}
 	if n := ix.lvls.count(); n != len(open) {
 		return fmt.Errorf("level tree holds %d keys, want %d open bins", n, len(open))
+	}
+	if ix.vtree != nil {
+		if n := ix.dlvls.count(); n != len(open) {
+			return fmt.Errorf("dominant-resource tree holds %d keys, want %d open bins", n, len(open))
+		}
 	}
 	return nil
 }

@@ -79,7 +79,7 @@ func (g *Ledger) EnableIndex() {
 	if len(g.all) > 0 {
 		panic("bins: EnableIndex on a ledger that already opened bins")
 	}
-	g.index = &Index{}
+	g.index = newIndex(g.dim)
 }
 
 // Index returns the policy-query index, or nil when not enabled.

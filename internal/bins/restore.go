@@ -9,7 +9,10 @@ import (
 
 // RestoredJob is one active job inside a BinRestore: everything the
 // ledger retains about a resident item whose departure is still unknown
-// (the streaming model — Departure is restored as +Inf).
+// (the streaming model — Departure is restored as +Inf). The Sizes
+// slice is ADOPTED by RestoreLedger — the restored item references it
+// directly — so callers whose source data outlives the call must pass a
+// copy (packing.RestoreStream does).
 type RestoredJob struct {
 	ID      item.ID
 	Size    float64
@@ -22,7 +25,9 @@ type RestoredJob struct {
 // level is NOT recomputed from the jobs: a live bin's level is a running
 // float sum over its full placement/removal history, so only the
 // verbatim accumulator makes a restored ledger place future jobs on
-// bit-identical levels.
+// bit-identical levels. Levels (like each job's Sizes) is ADOPTED by
+// RestoreLedger as the bin's live accumulator; callers pass a copy if
+// their source data outlives the call.
 type BinRestore struct {
 	Index      int
 	OpenedAt   float64
@@ -122,7 +127,7 @@ func restoreOpenBin(r *BinRestore, capacity float64, dim int, linger bool) (*Bin
 		openedAt:        r.OpenedAt,
 		closedAt:        math.NaN(),
 		emptySince:      math.NaN(),
-		level:           append([]float64(nil), r.Levels...),
+		level:           r.Levels, // adopted; see BinRestore
 		active:          make(map[item.ID]item.Item, len(r.Jobs)),
 	}
 	if r.Lingering {
@@ -141,7 +146,7 @@ func restoreOpenBin(r *BinRestore, capacity float64, dim int, linger bool) (*Bin
 		it := item.Item{
 			ID:        jb.ID,
 			Size:      jb.Size,
-			Sizes:     append([]float64(nil), jb.Sizes...),
+			Sizes:     jb.Sizes, // adopted; see RestoredJob
 			Arrival:   jb.Arrival,
 			Departure: math.Inf(1), // streaming model: unknown until Depart
 		}

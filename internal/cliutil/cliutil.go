@@ -13,13 +13,16 @@ import (
 	"dbp/internal/workload"
 )
 
-// GenSpec selects a generated workload.
+// GenSpec selects a generated workload. Dim > 1 draws vector demands
+// (uniform and pareto shapes only; each job's Size is its largest
+// component).
 type GenSpec struct {
 	Kind string // uniform, pareto, gaming, bursty
 	N    int
 	Rate float64
 	Mu   float64
 	Seed int64
+	Dim  int
 }
 
 // LoadJobs loads a workload from tracePath (CSV or JSON by extension) if
@@ -38,15 +41,27 @@ func LoadJobs(tracePath string, spec GenSpec) (item.List, error) {
 	}
 	switch spec.Kind {
 	case "uniform":
+		if spec.Dim > 1 {
+			return workload.GenerateVec(workload.UniformConfig(spec.N, spec.Rate, spec.Mu, spec.Seed), spec.Dim), nil
+		}
 		return workload.Generate(workload.UniformConfig(spec.N, spec.Rate, spec.Mu, spec.Seed)), nil
 	case "pareto":
+		if spec.Dim > 1 {
+			return workload.GenerateVec(workload.ParetoConfig(spec.N, spec.Rate, spec.Mu, spec.Seed), spec.Dim), nil
+		}
 		return workload.Generate(workload.ParetoConfig(spec.N, spec.Rate, spec.Mu, spec.Seed)), nil
 	case "gaming":
+		if spec.Dim > 1 {
+			return nil, fmt.Errorf("generator %q has no vector-demand form (use uniform or pareto with -dim)", spec.Kind)
+		}
 		l, _ := gaming.Sessions(gaming.Config{
 			Catalog: gaming.DefaultCatalog(), Rate: spec.Rate, N: spec.N, Seed: spec.Seed,
 		})
 		return l, nil
 	case "bursty":
+		if spec.Dim > 1 {
+			return nil, fmt.Errorf("generator %q has no vector-demand form (use uniform or pareto with -dim)", spec.Kind)
+		}
 		return workload.GenerateBursty(workload.BurstyConfig{
 			Config:      workload.UniformConfig(spec.N, spec.Rate, spec.Mu, spec.Seed),
 			BurstFactor: 10, MeanCalm: 30, MeanBurst: 3,

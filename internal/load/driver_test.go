@@ -74,6 +74,34 @@ func TestScriptInvariants(t *testing.T) {
 	}
 }
 
+// TestScriptFromListCopiesSizes pins the script's ownership of its
+// demand vectors: the source item.List stays live at the call site
+// (rescaled, re-keyed, reused across epochs), so a script op aliasing a
+// list item's Sizes would replay whatever the caller last wrote there
+// instead of the trace's demand.
+func TestScriptFromListCopiesSizes(t *testing.T) {
+	l := item.List{
+		{ID: 1, Size: 0.6, Sizes: []float64{0.6, 0.2}, Arrival: 0, Departure: 2},
+		{ID: 2, Size: 0.7, Sizes: []float64{0.3, 0.7}, Arrival: 1, Departure: 3},
+	}
+	s := ScriptFromList(l)
+	for i := range l {
+		for d := range l[i].Sizes {
+			l[i].Sizes[d] = 55.5 // caller reuses its instance
+		}
+	}
+	want := map[item.ID][]float64{1: {0.6, 0.2}, 2: {0.3, 0.7}}
+	for _, op := range s.Ops {
+		if op.Kind != OpArrive {
+			continue
+		}
+		w := want[op.ID]
+		if len(op.Sizes) != len(w) || op.Sizes[0] != w[0] || op.Sizes[1] != w[1] {
+			t.Errorf("op for job %d sizes = %v, want %v (caller scribble leaked in)", op.ID, op.Sizes, w)
+		}
+	}
+}
+
 // TestOpenLoopAchievedRate is the pacer acceptance check: at a rate
 // the in-process service trivially sustains, the achieved measure-
 // phase rate stays within 2% of requested.

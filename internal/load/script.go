@@ -80,7 +80,12 @@ func ScriptFromList(l item.List) *Script {
 		if e.depart {
 			s.Ops[i] = Op{Kind: OpDepart, ID: e.it.ID}
 		} else {
-			s.Ops[i] = Op{Kind: OpArrive, ID: e.it.ID, Size: e.it.Size, Sizes: e.it.Sizes}
+			// Copy the demand vector so the script owns its ops: the
+			// caller's item.List stays live (rescaling, re-keying, reuse
+			// across epochs), and an op aliasing it would replay whatever
+			// the caller last wrote there instead of the trace's demand.
+			s.Ops[i] = Op{Kind: OpArrive, ID: e.it.ID, Size: e.it.Size,
+				Sizes: append([]float64(nil), e.it.Sizes...)}
 		}
 	}
 	return s

@@ -62,8 +62,16 @@ func (a Arrival) need() float64 { return a.Size - bins.Eps }
 // semantics — the cross-engine equivalence suite holds the two to
 // bit-identical packings.
 //
-// The queries are scalar (first-dimension gaps); policies handling
-// vector demands filter Open() themselves on the linear path.
+// The scalar queries take a pre-folded gap threshold (need = size - Eps)
+// and are exact for 1-D demands. The vector queries take the RAW demand
+// vector — tolerance is applied internally via the per-dimension
+// bins.Bin.FitsDemand admission test, the same comparison on both
+// backends — and serve d-dimensional (DVBP) placements: positional
+// enumeration for First/Last Fit rules and score-minimizing policies,
+// and the dominant-resource (max-min-gap) selection for Worst Fit
+// rules. On the indexed backend they are answered by pruned descent of
+// the per-dimension max-gap tree and the (MinGap, index) treap
+// (bins.Index); the linear backend scans.
 type Fleet interface {
 	// Open returns the currently open bins in opening order (ascending
 	// index). The slice is shared; callers must not modify or retain it.
@@ -82,6 +90,19 @@ type Fleet interface {
 	// under the (descending gap, ascending index) order, restricted to
 	// gaps >= need.
 	SecondEmptiestFitting(need float64) *bins.Bin
+	// FirstFittingVec returns the earliest-opened bin that fits the
+	// demand vector in every dimension, or nil.
+	FirstFittingVec(sizes []float64) *bins.Bin
+	// LastFittingVec returns the latest-opened such bin, or nil.
+	LastFittingVec(sizes []float64) *bins.Bin
+	// EachFitting visits every open bin fitting the demand vector in
+	// ascending opening order, stopping when visit returns false.
+	EachFitting(sizes []float64, visit func(*bins.Bin) bool)
+	// MaxMinGapFitting returns the fitting bin whose dominant (most
+	// loaded) resource has the most remaining capacity — the bin
+	// maximizing min over dimensions of gap — ties toward the earliest
+	// opened, or nil.
+	MaxMinGapFitting(sizes []float64) *bins.Bin
 }
 
 // Algorithm is an online bin packing policy.
@@ -110,17 +131,7 @@ type Algorithm interface {
 // fits reports whether the arrival fits in the bin under the bin's
 // capacity with tolerance, in every dimension.
 func fits(b *bins.Bin, a Arrival) bool {
-	v := a.sizeVec()
-	if b.Dim() != len(v) {
-		return false
-	}
-	lv := b.LevelVec()
-	for d := range v {
-		if lv[d]+v[d] > b.Capacity+bins.Eps {
-			return false
-		}
-	}
-	return true
+	return b.FitsDemand(a.sizeVec())
 }
 
 // fitting filters the open bins down to those that can accommodate the

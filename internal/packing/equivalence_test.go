@@ -57,6 +57,45 @@ func sameRun(t *testing.T, label string, a, b *packing.Result) {
 	}
 }
 
+// equivVectorWorkloads returns the d-dimensional instances: a Poisson
+// trace with correlated vector demands, and a complementary-demand
+// adversary — job i is heavy (0.6) in dimension i mod d and light
+// (0.05) everywhere else, with staggered lifetimes — built so that
+// which server fits is decided by a DIFFERENT dimension from one
+// arrival to the next, the worst case for any per-dimension pruning
+// structure that dares to cut a subtree it shouldn't.
+func equivVectorWorkloads(d int) map[string]item.List {
+	poisson := workload.GenerateVec(workload.UniformConfig(300, 5, 8, int64(17+d)), d)
+	adv := make(item.List, 0, 120)
+	for i := 0; i < 120; i++ {
+		sizes := make([]float64, d)
+		for k := range sizes {
+			sizes[k] = 0.05
+		}
+		sizes[i%d] = 0.6
+		arr := float64(i) * 0.25
+		adv = append(adv, item.Item{
+			ID: item.ID(i + 1), Size: 0.6, Sizes: sizes,
+			Arrival: arr, Departure: arr + 3 + float64(i%7),
+		})
+	}
+	return map[string]item.List{
+		"vecpoisson": poisson,
+		"complement": adv,
+	}
+}
+
+// equivPolicies is every policy the oracle covers: the standard scalar
+// family plus the DVBP vector family (all of which accept both scalar
+// and vector demands).
+func equivPolicies() map[string]packing.Algorithm {
+	m := packing.Standard()
+	for k, v := range packing.Vector() {
+		m[k] = v
+	}
+	return m
+}
+
 // TestEnginesEquivalentAcrossPolicies is the batch-path half of the
 // oracle: packing.Run on both engines, every Standard policy, every
 // workload, keep-alive off and on.
@@ -138,6 +177,93 @@ func TestStreamEnginesEquivalentAcrossPolicies(t *testing.T) {
 				}
 				if idx.ServersUsed() != lin.ServersUsed() || idx.PeakServers() != lin.PeakServers() {
 					t.Fatalf("%s: fleet shape mismatch", label)
+				}
+			}
+		}
+	}
+}
+
+// TestEnginesEquivalentVector is the d-dimensional batch-path oracle:
+// the vector index (per-dimension gap trees + dominant-resource treap)
+// against the linear reference, for every standard AND vector policy,
+// d in {2, 4}, keep-alive off and on.
+func TestEnginesEquivalentVector(t *testing.T) {
+	for _, d := range []int{2, 4} {
+		for wname, jobs := range equivVectorWorkloads(d) {
+			for _, keepAlive := range []float64{0, 0.7} {
+				for pname, algo := range equivPolicies() {
+					label := fmt.Sprintf("d=%d/%s/%s/ka=%g", d, wname, pname, keepAlive)
+					idx, err := packing.Run(algo, jobs, &packing.Options{
+						KeepAlive: keepAlive, Engine: packing.EngineIndexed, Validate: true,
+					})
+					if err != nil {
+						t.Fatalf("%s indexed: %v", label, err)
+					}
+					lin, err := packing.Run(algo, jobs, &packing.Options{
+						KeepAlive: keepAlive, Engine: packing.EngineLinear, Validate: true,
+					})
+					if err != nil {
+						t.Fatalf("%s linear: %v", label, err)
+					}
+					sameRun(t, label, idx, lin)
+				}
+			}
+		}
+	}
+}
+
+// TestStreamEnginesEquivalentVector is the d-dimensional online-path
+// oracle: identical per-event decisions from both engines for every
+// standard and vector policy on the vector workloads.
+func TestStreamEnginesEquivalentVector(t *testing.T) {
+	for _, d := range []int{2, 4} {
+		for wname, jobs := range equivVectorWorkloads(d) {
+			for _, keepAlive := range []float64{0, 0.7} {
+				linAlgos := equivPolicies()
+				for pname, algo := range equivPolicies() {
+					label := fmt.Sprintf("d=%d/%s/%s/ka=%g", d, wname, pname, keepAlive)
+					idx, err := packing.NewStreamEngine(algo, 0, d, keepAlive, packing.EngineIndexed)
+					if err != nil {
+						t.Fatal(err)
+					}
+					lin, err := packing.NewStreamEngine(linAlgos[pname], 0, d, keepAlive, packing.EngineLinear)
+					if err != nil {
+						t.Fatal(err)
+					}
+					q := event.NewFromList(jobs)
+					for q.Len() > 0 {
+						e := q.Pop()
+						if e.Kind == event.Arrive {
+							s1, o1, err1 := idx.Arrive(e.Item.ID, e.Item.Size, e.Item.Sizes, e.Time)
+							s2, o2, err2 := lin.Arrive(e.Item.ID, e.Item.Size, e.Item.Sizes, e.Time)
+							if err1 != nil || err2 != nil {
+								t.Fatalf("%s: arrive errors %v / %v", label, err1, err2)
+							}
+							if s1 != s2 || o1 != o2 {
+								t.Fatalf("%s: job %d -> server %d opened=%v (indexed) vs %d opened=%v (linear)",
+									label, e.Item.ID, s1, o1, s2, o2)
+							}
+						} else {
+							s1, c1, err1 := idx.Depart(e.Item.ID, e.Time)
+							s2, c2, err2 := lin.Depart(e.Item.ID, e.Time)
+							if err1 != nil || err2 != nil {
+								t.Fatalf("%s: depart errors %v / %v", label, err1, err2)
+							}
+							if s1 != s2 || c1 != c2 {
+								t.Fatalf("%s: job %d departed server %d closed=%v vs %d closed=%v",
+									label, e.Item.ID, s1, c1, s2, c2)
+							}
+						}
+					}
+					idx.Shutdown()
+					lin.Shutdown()
+					end := jobs.PackingPeriod().Hi + keepAlive
+					if u1, u2 := idx.AccumulatedUsage(end), lin.AccumulatedUsage(end); u1 != u2 {
+						t.Fatalf("%s: usage %g (indexed) != %g (linear)", label, u1, u2)
+					}
+					if idx.ServersUsed() != lin.ServersUsed() || idx.PeakServers() != lin.PeakServers() {
+						t.Fatalf("%s: fleet shape mismatch", label)
+					}
 				}
 			}
 		}

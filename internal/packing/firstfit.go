@@ -22,14 +22,7 @@ func (*FirstFit) Name() string { return "FirstFit" }
 // Place returns the lowest-indexed open bin that fits, or nil.
 func (*FirstFit) Place(a Arrival, f Fleet) *bins.Bin {
 	if len(a.Sizes) > 0 {
-		// Vector demand: per-dimension gaps are not representable in the
-		// scalar index; use the exact linear rule.
-		for _, b := range f.Open() {
-			if fits(b, a) {
-				return b
-			}
-		}
-		return nil
+		return f.FirstFittingVec(a.Sizes)
 	}
 	return f.FirstFitting(a.need())
 }

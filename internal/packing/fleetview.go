@@ -29,6 +29,18 @@ func (f indexedFleet) EmptiestFitting(need float64) *bins.Bin {
 func (f indexedFleet) SecondEmptiestFitting(need float64) *bins.Bin {
 	return f.ledger.Index().SecondEmptiestFitting(need)
 }
+func (f indexedFleet) FirstFittingVec(sizes []float64) *bins.Bin {
+	return f.ledger.Index().FirstFittingVec(sizes)
+}
+func (f indexedFleet) LastFittingVec(sizes []float64) *bins.Bin {
+	return f.ledger.Index().LastFittingVec(sizes)
+}
+func (f indexedFleet) EachFitting(sizes []float64, visit func(*bins.Bin) bool) {
+	f.ledger.Index().EachFitting(sizes, visit)
+}
+func (f indexedFleet) MaxMinGapFitting(sizes []float64) *bins.Bin {
+	return f.ledger.Index().MaxMinGapFitting(sizes)
+}
 
 type linearFleet struct {
 	ledger *bins.Ledger
@@ -98,4 +110,49 @@ func (f linearFleet) SecondEmptiestFitting(need float64) *bins.Bin {
 		}
 	}
 	return second
+}
+
+// The vector queries share one admission comparison with the indexed
+// backend — bins.Bin.FitsDemand — so the two engines cannot disagree on
+// a borderline demand; only the search strategy differs (scan vs pruned
+// tree descent).
+
+func (f linearFleet) FirstFittingVec(sizes []float64) *bins.Bin {
+	for _, b := range f.ledger.OpenBins() {
+		if b.FitsDemand(sizes) {
+			return b
+		}
+	}
+	return nil
+}
+
+func (f linearFleet) LastFittingVec(sizes []float64) *bins.Bin {
+	open := f.ledger.OpenBins()
+	for i := len(open) - 1; i >= 0; i-- {
+		if open[i].FitsDemand(sizes) {
+			return open[i]
+		}
+	}
+	return nil
+}
+
+func (f linearFleet) EachFitting(sizes []float64, visit func(*bins.Bin) bool) {
+	for _, b := range f.ledger.OpenBins() {
+		if b.FitsDemand(sizes) && !visit(b) {
+			return
+		}
+	}
+}
+
+func (f linearFleet) MaxMinGapFitting(sizes []float64) *bins.Bin {
+	var best *bins.Bin
+	for _, b := range f.ledger.OpenBins() {
+		if !b.FitsDemand(sizes) {
+			continue
+		}
+		if best == nil || b.MinGap() > best.MinGap() {
+			best = b
+		}
+	}
+	return best
 }

@@ -19,13 +19,7 @@ func (*LastFit) Name() string { return "LastFit" }
 // Place returns the highest-indexed open bin that fits, or nil.
 func (*LastFit) Place(a Arrival, f Fleet) *bins.Bin {
 	if len(a.Sizes) > 0 {
-		open := f.Open()
-		for i := len(open) - 1; i >= 0; i-- {
-			if fits(open[i], a) {
-				return open[i]
-			}
-		}
-		return nil
+		return f.LastFittingVec(a.Sizes)
 	}
 	return f.LastFitting(a.need())
 }

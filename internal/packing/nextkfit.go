@@ -107,10 +107,7 @@ func (*AlmostWorstFit) Name() string { return "AlmostWorstFit" }
 func (*AlmostWorstFit) Place(a Arrival, f Fleet) *bins.Bin {
 	if len(a.Sizes) > 0 {
 		var first, second *bins.Bin // emptiest and second-emptiest fitting
-		for _, b := range f.Open() {
-			if !fits(b, a) {
-				continue
-			}
+		f.EachFitting(a.Sizes, func(b *bins.Bin) bool {
 			switch {
 			case first == nil:
 				first = b
@@ -120,7 +117,8 @@ func (*AlmostWorstFit) Place(a Arrival, f Fleet) *bins.Bin {
 			case second == nil || b.Gap() > second.Gap():
 				second = b
 			}
-		}
+			return true
+		})
 		if second != nil {
 			return second
 		}

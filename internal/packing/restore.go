@@ -86,11 +86,16 @@ func RestoreStream(algo Algorithm, snap Snapshot) (*Stream, error) {
 	}
 	open := make([]bins.BinRestore, len(snap.Servers))
 	for i, sv := range snap.Servers {
+		// The snapshot stays caller-owned: copy every float slice handed
+		// down, since bins.RestoreLedger adopts what it is given. Without
+		// these copies a caller mutating (or reusing) the snapshot after a
+		// successful restore would silently corrupt live server levels and
+		// resident jobs' demand vectors.
 		br := bins.BinRestore{
 			Index:     sv.Index,
 			OpenedAt:  sv.OpenedAt,
 			Lingering: sv.Lingering,
-			Levels:    sv.Levels,
+			Levels:    append([]float64(nil), sv.Levels...),
 		}
 		if sv.Lingering {
 			br.EmptySince = sv.EmptySince
@@ -101,7 +106,7 @@ func RestoreStream(algo Algorithm, snap Snapshot) (*Stream, error) {
 				br.Jobs[j] = bins.RestoredJob{
 					ID:      item.ID(jb.ID),
 					Size:    jb.Size,
-					Sizes:   jb.Sizes,
+					Sizes:   append([]float64(nil), jb.Sizes...),
 					Arrival: jb.Arrival,
 				}
 			}

@@ -115,7 +115,14 @@ func roundTrip(t *testing.T, snap Snapshot) Snapshot {
 // opened/closed flag, error class) and the final drained snapshots must
 // match bit for bit.
 func TestRestoreStreamBitIdentical(t *testing.T) {
+	names := make([]string, 0, 20)
 	for name := range Standard() {
+		names = append(names, name)
+	}
+	for name := range Vector() {
+		names = append(names, name)
+	}
+	for _, name := range names {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			t.Parallel()
@@ -127,6 +134,7 @@ func TestRestoreStreamBitIdentical(t *testing.T) {
 				{"scalar", 1, 0},
 				{"keepalive", 1, 0.6},
 				{"vector", 2, 0.6},
+				{"vector4", 4, 0.3},
 			} {
 				algo, err := ByName(name)
 				if err != nil {
@@ -247,6 +255,64 @@ func TestAdvanceMatchesRejectedEvent(t *testing.T) {
 	}
 	if x, y := a.Snapshot(), b.Snapshot(); !reflect.DeepEqual(x, y) {
 		t.Fatalf("snapshots diverged:\n rejected %+v\n ticked   %+v", x, y)
+	}
+}
+
+// TestRestoreStreamCopiesSnapshot is the aliasing regression test: a
+// restored stream must own its float state outright, so a caller that
+// mutates (or reuses as scratch) the snapshot's Levels and Sizes slices
+// AFTER RestoreStream returns must not perturb the stream. The bug this
+// pins: RestoreStream handing sv.Levels/jb.Sizes straight through to
+// bins.RestoreLedger, which adopts them — scribbling the snapshot then
+// corrupted live server levels and resident jobs' demand vectors, so
+// later departs subtracted garbage.
+func TestRestoreStreamCopiesSnapshot(t *testing.T) {
+	evs := genEvents(23, 300, 2)
+	mid := len(evs) * 3 / 5
+	ref := NewStreamKeepAlive(NewFirstFit(), 1, 2, 0.6)
+	for _, ev := range evs[:mid] {
+		applyEv(ref, ev)
+	}
+	snap := ref.Snapshot()
+
+	restored, err := RestoreStream(NewFirstFit(), snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scribble over every float slice the snapshot holds, as a caller
+	// recycling the snapshot's buffers would.
+	scribbled := false
+	for i := range snap.Servers {
+		for d := range snap.Servers[i].Levels {
+			snap.Servers[i].Levels[d] = 17.5
+			scribbled = true
+		}
+		for j := range snap.Servers[i].Active {
+			for d := range snap.Servers[i].Active[j].Sizes {
+				snap.Servers[i].Active[j].Sizes[d] = -3.25
+				scribbled = true
+			}
+		}
+	}
+	if !scribbled {
+		t.Fatal("workload left no open servers at the midpoint; nothing exercised")
+	}
+	if err := restored.Ledger().CheckInvariants(); err != nil {
+		t.Fatalf("invariants broken by snapshot mutation: %v", err)
+	}
+	// The restored stream must now track the reference bit for bit
+	// through the suffix — including departs, which subtract each
+	// resident job's Sizes from its server's levels.
+	for k, ev := range evs[mid:] {
+		rs, rf, rc := applyEv(ref, ev)
+		gs, gf, gc := applyEv(restored, ev)
+		if rs != gs || rf != gf || rc != gc {
+			t.Fatalf("suffix event %d (%+v): ref (%d,%v,%q) != restored (%d,%v,%q)",
+				k, ev, rs, rf, rc, gs, gf, gc)
+		}
+	}
+	if a, b := ref.Snapshot(), restored.Snapshot(); !reflect.DeepEqual(a, b) {
+		t.Fatalf("snapshots diverged after snapshot scribble:\n ref      %+v\n restored %+v", a, b)
 	}
 }
 

@@ -18,15 +18,16 @@ func (*WorstFit) Name() string { return "WorstFit" }
 // Place returns the fitting bin with maximal gap (ties: lowest index).
 func (*WorstFit) Place(a Arrival, f Fleet) *bins.Bin {
 	if len(a.Sizes) > 0 {
+		// Vector demand: same historical scalar scoring (largest
+		// first-dimension gap) over the pruned fitting enumeration. For
+		// the dominant-resource vector rule see DRWorstFit.
 		var best *bins.Bin
-		for _, b := range f.Open() {
-			if !fits(b, a) {
-				continue
-			}
+		f.EachFitting(a.Sizes, func(b *bins.Bin) bool {
 			if best == nil || b.Gap() > best.Gap() {
 				best = b
 			}
-		}
+			return true
+		})
 		return best
 	}
 	return f.EmptiestFitting(a.need())

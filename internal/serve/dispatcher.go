@@ -662,7 +662,13 @@ func (d *Dispatcher) applyOne(sh *shard, depart bool, id item.ID, size float64, 
 			d.metrics.serversOpened.Add(1)
 		}
 		if d.cfg.RecordEvents && sh.wal == nil {
-			sh.append(Event{Kind: "arrive", ID: id, Size: size, Sizes: sizes, Time: at, Server: server})
+			// Copy the demand vector: sizes is the same slice the stream's
+			// ledger retained for this job (Stream.Arrive keeps the caller
+			// slice), so a journal entry aliasing it would let anyone
+			// scribbling on a ShardEvents result corrupt the live levels
+			// the job's eventual depart subtracts from.
+			sh.append(Event{Kind: "arrive", ID: id, Size: size,
+				Sizes: append([]float64(nil), sizes...), Time: at, Server: server})
 		}
 	}
 	return server, flag, at, nil
@@ -719,6 +725,15 @@ func (d *Dispatcher) ShardEvents(i int) []Event {
 	defer sh.logMu.Unlock()
 	out := make([]Event, len(sh.log))
 	copy(out, sh.log)
+	// Deep-copy the demand vectors so the caller owns its result
+	// outright: a struct copy alone would hand every caller (and every
+	// subsequent ShardEvents call) views of the same journal-owned
+	// slices.
+	for i := range out {
+		if len(out[i].Sizes) > 0 {
+			out[i].Sizes = append([]float64(nil), out[i].Sizes...)
+		}
+	}
 	return out
 }
 
