@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test quick race vet fmt check serve equivalence bench-ledger bench-ledger-check bench-fleet figures loadtest loadtest-short loadtest-ramp sweep sweep-short fuzz-short bench-wire loadtest-wire duel recover-test durability bench-wal
+.PHONY: build test quick race vet fmt check serve equivalence scenarios-check bench-ledger bench-ledger-check bench-fleet figures loadtest loadtest-short loadtest-ramp sweep sweep-short fuzz-short bench-wire loadtest-wire duel recover-test durability bench-wal
 
 build:
 	$(GO) build ./...
@@ -78,6 +78,15 @@ sweep-short:
 ## Run and Stream paths) under the race detector
 equivalence:
 	$(GO) test -race -count=1 -run Equivalent ./internal/packing/
+
+## scenarios-check: the workload-registry gate — the registry smoke and
+## statistics tests (every scenario generates, seed determinism, zipf
+## slope, hotspot share, diurnal modulation, equal-duration bound) plus
+## the batch-path half of the cross-engine oracle, which packs every
+## registered scenario bit-identically on both engines
+scenarios-check:
+	$(GO) test -count=1 ./internal/workload/
+	$(GO) test -count=1 -run 'TestEnginesEquivalent' ./internal/packing/
 
 ## bench-ledger: regenerate BENCH_ledger.json (per-event engine cost vs
 ## fleet size, per policy, indexed and linear)

@@ -42,7 +42,7 @@ import (
 	"time"
 
 	"dbp"
-	"dbp/internal/item"
+	"dbp/internal/cliutil"
 	"dbp/internal/packing"
 	"dbp/internal/workload"
 )
@@ -100,12 +100,22 @@ func main() {
 		reps      = flag.Int("reps", 3, "repetitions per configuration (minimum wall time is reported)")
 		policies  = flag.String("policies", "firstfit,bestfit,worstfit,drworstfit", "comma-separated policies to measure (see dbpexp -list for names)")
 		engines   = flag.String("engines", "indexed,linear", "engines to measure: indexed (BinIndex queries), linear (O(B) reference scans)")
+		wl        = flag.String("workload", "uniform", "workload scenario spec: name or name:key=value,... (see -list-workloads)")
+		listWl    = flag.Bool("list-workloads", false, "print every registered workload scenario with its parameter schema and exit")
 		out       = flag.String("o", "BENCH_ledger.json", "output path for the JSON report ('-' for stdout)")
 		compare   = flag.String("compare", "", "baseline report; exit 2 if any matching run's ns/event regresses past -tolerance")
 		tol       = flag.Float64("tolerance", 25, "allowed ns/event regression percent for -compare")
 	)
 	flag.Parse()
+	if *listWl {
+		cliutil.ListScenarios(os.Stdout)
+		return
+	}
 
+	inst, err := workload.Lookup(*wl)
+	if err != nil {
+		log.Fatal(err)
+	}
 	sizes, err := parseSizes(*sizesFlag)
 	if err != nil {
 		log.Fatal(err)
@@ -132,7 +142,7 @@ func main() {
 				for _, ka := range []float64{0, *keepAlive} {
 					var recs []runRecord
 					for _, n := range sizes {
-						r, err := measure(policy, engine, d, n, ka, *mu, *seed, *reps)
+						r, err := measure(inst, policy, engine, d, n, ka, *mu, *seed, *reps)
 						if err != nil {
 							log.Fatal(err)
 						}
@@ -180,14 +190,14 @@ func main() {
 
 // measure runs one configuration reps times and keeps the fastest run
 // (minimum wall time filters scheduler noise, the usual benchmark rule).
-func measure(policy, engine string, dim, n int, keepAlive, mu float64, seed int64, reps int) (runRecord, error) {
-	var jobs item.List
-	if dim > 1 {
-		jobs = workload.GenerateVec(workload.UniformConfig(n, float64(n)/100, mu, seed), dim)
-	} else {
-		jobs = dbp.GenerateUniform(n, float64(n)/100, mu, seed)
+// The workload comes from the scenario registry; its arrival rate scales
+// with n so the open-server population grows with the job count.
+func measure(inst workload.Instance, policy, engine string, dim, n int, keepAlive, mu float64, seed int64, reps int) (runRecord, error) {
+	jobs, err := inst.Generate(n, float64(n)/100, mu, seed, dim)
+	if err != nil {
+		return runRecord{}, err
 	}
-	rec := runRecord{Policy: policy, Engine: engine, Dim: dim, Jobs: n, KeepAlive: keepAlive, Events: 2 * n}
+	rec := runRecord{Policy: policy, Engine: engine, Dim: dim, Jobs: n, KeepAlive: keepAlive, Events: 2 * len(jobs)}
 	for i := 0; i < reps; i++ {
 		algo, err := dbp.AlgorithmByName(policy)
 		if err != nil {

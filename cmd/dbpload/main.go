@@ -45,6 +45,7 @@ import (
 	"strings"
 	"time"
 
+	"dbp/internal/cliutil"
 	"dbp/internal/load"
 	"dbp/internal/serve"
 	"dbp/internal/wire"
@@ -62,7 +63,8 @@ func main() {
 		measure = flag.Duration("measure", 10*time.Second, "measurement window")
 		drain   = flag.Duration("drain", 30*time.Second, "max time to depart jobs still active at measure end")
 
-		wl        = flag.String("workload", "uniform", "workload shape: uniform, pareto, bimodal, smallitem")
+		wl        = flag.String("workload", "uniform", "workload scenario spec: name or name:key=value,... (see -list-workloads)")
+		listWl    = flag.Bool("list-workloads", false, "print every registered workload scenario with its parameter schema and exit")
 		jobs      = flag.Int("jobs", 50000, "jobs per script epoch (the script loops under fresh IDs)")
 		mu        = flag.Float64("mu", 10, "duration ratio of the workload")
 		traceRate = flag.Float64("trace-rate", 50, "script arrival rate; with mean duration this sets the active-population level")
@@ -106,6 +108,10 @@ func main() {
 		duelRates = flag.String("duel-rates", "2000,5000,10000,20000,50000,100000", "duel: comma-separated open-loop rates tried per transport")
 	)
 	flag.Parse()
+	if *listWl {
+		cliutil.ListScenarios(os.Stdout)
+		return
+	}
 	if *out == "" {
 		if *sweep {
 			*out = "BENCH_scale.json"
@@ -114,7 +120,7 @@ func main() {
 		}
 	}
 
-	script, err := load.GenerateScript(load.WorkloadName(*wl), *jobs, *traceRate, *mu, *seed, *dim)
+	script, err := load.GenerateScript(*wl, *jobs, *traceRate, *mu, *seed, *dim)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -28,8 +28,9 @@ func main() {
 
 	var (
 		algoName  = flag.String("algo", "firstfit", "policy: "+strings.Join(dbp.AlgorithmNames(), ", "))
-		tracePath = flag.String("trace", "", "trace file to replay (.csv or .json)")
-		gen       = flag.String("gen", "", "generate workload: uniform, pareto, gaming, bursty")
+		tracePath = flag.String("trace", "", "trace file to replay (.csv or .json, .gz transparent)")
+		gen       = flag.String("gen", "", "generate workload: scenario spec name or name:key=value,... (see -list-workloads)")
+		listWl    = flag.Bool("list-workloads", false, "print every registered workload scenario with its parameter schema and exit")
 		n         = flag.Int("n", 200, "number of jobs (with -gen)")
 		rate      = flag.Float64("rate", 2, "arrival rate (with -gen)")
 		mu        = flag.Float64("mu", 8, "duration ratio bound (uniform/pareto)")
@@ -41,8 +42,12 @@ func main() {
 		assignOut = flag.String("assign", "", "write the per-job server assignment CSV to this file")
 	)
 	flag.Parse()
+	if *listWl {
+		cliutil.ListScenarios(os.Stdout)
+		return
+	}
 
-	jobs, err := cliutil.LoadJobs(*tracePath, cliutil.GenSpec{Kind: *gen, N: *n, Rate: *rate, Mu: *mu, Seed: *seed})
+	jobs, err := cliutil.LoadJobs(*tracePath, cliutil.GenSpec{Spec: *gen, N: *n, Rate: *rate, Mu: *mu, Seed: *seed})
 	if err != nil {
 		log.Fatal(err)
 	}

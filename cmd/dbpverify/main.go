@@ -40,8 +40,9 @@ func main() {
 
 	var (
 		algoName  = flag.String("algo", "firstfit", "policy: "+strings.Join(dbp.AlgorithmNames(), ", "))
-		tracePath = flag.String("trace", "", "trace file to verify (.csv or .json)")
-		gen       = flag.String("gen", "", "generate workload: uniform, pareto, gaming, bursty")
+		tracePath = flag.String("trace", "", "trace file to verify (.csv or .json, .gz transparent)")
+		gen       = flag.String("gen", "", "generate workload: scenario spec name or name:key=value,... (see -list-workloads)")
+		listWl    = flag.Bool("list-workloads", false, "print every registered workload scenario with its parameter schema and exit")
 		n         = flag.Int("n", 200, "number of jobs (with -gen)")
 		rate      = flag.Float64("rate", 2, "arrival rate (with -gen)")
 		mu        = flag.Float64("mu", 8, "duration ratio bound")
@@ -50,13 +51,17 @@ func main() {
 		assignIn  = flag.String("assign", "", "verify an external assignment CSV (id,bin,size,arrival,departure) instead of running a policy")
 	)
 	flag.Parse()
+	if *listWl {
+		cliutil.ListScenarios(os.Stdout)
+		return
+	}
 
 	if *assignIn != "" {
 		verifyExternal(*assignIn)
 		return
 	}
 
-	jobs, err := cliutil.LoadJobs(*tracePath, cliutil.GenSpec{Kind: *gen, N: *n, Rate: *rate, Mu: *mu, Seed: *seed, Dim: *dim})
+	jobs, err := cliutil.LoadJobs(*tracePath, cliutil.GenSpec{Spec: *gen, N: *n, Rate: *rate, Mu: *mu, Seed: *seed, Dim: *dim})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,10 +1,13 @@
-// Command tracegen generates workload traces — random cloud workloads,
-// the synthetic gaming catalog, or the paper's adversarial constructions
-// — and writes them as CSV or JSON for dbpsim and external tools.
+// Command tracegen generates workload traces — any scenario registered
+// in the workload registry (random cloud workloads, the skew families,
+// the synthetic gaming catalog, or the paper's adversarial constructions)
+// — and writes them as CSV or JSON for dbpsim and external tools. Output
+// files named *.gz are gzip-compressed transparently.
 //
 // Examples:
 //
 //	tracegen -gen uniform -n 1000 -rate 4 -mu 16 -o jobs.csv
+//	tracegen -gen zipfian:alpha=1.3 -n 2000 -rate 1 -o skewed.csv.gz
 //	tracegen -gen gaming -n 2000 -rate 1 -format json -o sessions.json
 //	tracegen -adv nextfit -advn 64 -mu 8 -o adversary.csv
 package main
@@ -12,12 +15,13 @@ package main
 import (
 	"flag"
 	"fmt"
-	"io"
 	"log"
 	"os"
 
 	"dbp"
+	"dbp/internal/cliutil"
 	"dbp/internal/trace"
+	"dbp/internal/workload"
 )
 
 func main() {
@@ -25,60 +29,65 @@ func main() {
 	log.SetPrefix("tracegen: ")
 
 	var (
-		gen    = flag.String("gen", "", "random workload: uniform, pareto, gaming, bursty")
-		adv    = flag.String("adv", "", "adversarial instance: nextfit, anyfittrap, bestfitrelay")
+		gen    = flag.String("gen", "", "workload scenario spec: name or name:key=value,... (see -list-workloads)")
+		adv    = flag.String("adv", "", "adversarial shorthand: nextfit, anyfittrap, bestfitrelay (aliases for the registry scenarios)")
 		n      = flag.Int("n", 500, "number of jobs (with -gen)")
 		rate   = flag.Float64("rate", 2, "arrival rate (with -gen)")
 		mu     = flag.Float64("mu", 8, "duration ratio")
 		seed   = flag.Int64("seed", 1, "random seed")
 		advN   = flag.Int("advn", 64, "adversary size parameter (n pairs / victims)")
 		rounds = flag.Int("rounds", 6, "relay rounds (bestfitrelay)")
-		format = flag.String("format", "csv", "output format: csv or json")
+		format = flag.String("format", "csv", "stdout format: csv or json (files are named by extension, .gz transparent)")
 		out    = flag.String("o", "", "output file (default stdout)")
 		stats  = flag.Bool("stats", false, "print trace statistics to stderr")
+		listWl = flag.Bool("list-workloads", false, "print every registered workload scenario with its parameter schema and exit")
 	)
 	flag.Parse()
-
-	var jobs dbp.List
-	switch {
-	case *gen == "uniform":
-		jobs = dbp.GenerateUniform(*n, *rate, *mu, *seed)
-	case *gen == "pareto":
-		jobs = dbp.GeneratePareto(*n, *rate, *mu, *seed)
-	case *gen == "gaming":
-		jobs = dbp.GenerateGaming(*n, *rate, *seed)
-	case *gen == "bursty":
-		jobs = dbp.GenerateBursty(*n, *rate, *mu, 10, *seed)
-	case *adv == "nextfit":
-		jobs = dbp.NextFitAdversary(*advN, *mu)
-	case *adv == "anyfittrap":
-		jobs = dbp.AnyFitTrap(*advN, *mu)
-	case *adv == "bestfitrelay":
-		jobs = dbp.BestFitRelay(*advN, *rounds, *mu)
-	default:
-		log.Fatal("pass -gen {uniform,pareto,gaming} or -adv {nextfit,anyfittrap,bestfitrelay}")
+	if *listWl {
+		cliutil.ListScenarios(os.Stdout)
+		return
 	}
 
-	var w io.Writer = os.Stdout
+	// The legacy -adv shorthands are aliases for registry scenarios, with
+	// -advn carried as the instance size.
+	spec, jobCount := *gen, *n
+	switch *adv {
+	case "":
+	case "nextfit":
+		spec, jobCount = "nextfit-adv", *advN
+	case "anyfittrap":
+		spec, jobCount = "anyfit-trap", *advN
+	case "bestfitrelay":
+		spec, jobCount = fmt.Sprintf("bestfit-relay:victims=%d,rounds=%d", *advN, *rounds), *advN
+	default:
+		log.Fatalf("unknown -adv %q (nextfit, anyfittrap, bestfitrelay)", *adv)
+	}
+	if spec == "" {
+		log.Fatalf("pass -gen SCENARIO or -adv {nextfit,anyfittrap,bestfitrelay}; registered scenarios:\n%s", workload.Describe())
+	}
+	jobs, err := workload.FromSpec(spec, jobCount, *rate, *mu, *seed, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	if *out != "" {
-		f, err := os.Create(*out)
+		// File output picks the codec from the extension (.csv/.json,
+		// .gz transparent) so the format travels with the name.
+		if err := trace.WriteFile(*out, jobs); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		switch *format {
+		case "csv":
+			err = dbp.WriteTraceCSV(os.Stdout, jobs)
+		case "json":
+			err = dbp.WriteTraceJSON(os.Stdout, jobs)
+		default:
+			err = fmt.Errorf("unknown format %q", *format)
+		}
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer f.Close()
-		w = f
-	}
-	var err error
-	switch *format {
-	case "csv":
-		err = dbp.WriteTraceCSV(w, jobs)
-	case "json":
-		err = dbp.WriteTraceJSON(w, jobs)
-	default:
-		err = fmt.Errorf("unknown format %q", *format)
-	}
-	if err != nil {
-		log.Fatal(err)
 	}
 	if *stats {
 		fmt.Fprintln(os.Stderr, trace.Summarize(jobs).String())

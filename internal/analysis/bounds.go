@@ -49,6 +49,25 @@ func AnyFitLowerBound(mu float64) float64 { return mu + 1 }
 // completeness.
 func BestFitBounded() bool { return false }
 
+// Equal-duration bounds. Masoori, Narayanan & Pankratov ("Renting
+// Servers in the Cloud: The Case of Equal Duration Jobs",
+// arXiv:2108.12486) study the setting where every job runs for the same
+// time — mu collapses to 1 — and prove constant competitive ratios far
+// below the general-instance guarantees: Next Fit is exactly
+// 2-competitive there, and First Fit's ratio also drops to a small
+// constant near 2 instead of Theorem 1's mu+4 = 5. The registry's
+// "equalduration" scenario is checked against these reference lines.
+
+// EqualDurationNextFitBound is Next Fit's tight competitive ratio for
+// equal-duration instances (Masoori et al.).
+func EqualDurationNextFitBound() float64 { return 2 }
+
+// EqualDurationFirstFitBound is the reference line the E-series checks
+// hold First Fit's measured conservative ratio under on equal-duration
+// instances: the constant 2 of the Masoori et al. regime, far below the
+// general Theorem 1 value FirstFitUpperBound(1) = 5.
+func EqualDurationFirstFitBound() float64 { return 2 }
+
 // GapTheorem1 returns the gap between Theorem 1's upper bound and the
 // universal lower bound: a constant 4, independent of mu — the paper's
 // headline "near-optimality of First Fit".

@@ -1,23 +1,23 @@
 // Package cliutil holds the small helpers shared by the command-line
-// tools: loading a workload from a trace file or a named generator.
+// tools: loading a workload from a trace file or a registered scenario,
+// and printing the scenario registry.
 package cliutil
 
 import (
 	"fmt"
-	"os"
-	"strings"
+	"io"
 
-	"dbp/internal/gaming"
+	_ "dbp/internal/gaming" // registers the "gaming" scenario
 	"dbp/internal/item"
 	"dbp/internal/trace"
 	"dbp/internal/workload"
 )
 
-// GenSpec selects a generated workload. Dim > 1 draws vector demands
-// (uniform and pareto shapes only; each job's Size is its largest
-// component).
+// GenSpec selects a generated workload by registry spec ("uniform",
+// "zipfian:alpha=1.3", "trace:jobs.csv.gz", ... — see ListScenarios).
+// Dim > 1 draws vector demands on the scenarios that support them.
 type GenSpec struct {
-	Kind string // uniform, pareto, gaming, bursty
+	Spec string
 	N    int
 	Rate float64
 	Mu   float64
@@ -25,50 +25,22 @@ type GenSpec struct {
 	Dim  int
 }
 
-// LoadJobs loads a workload from tracePath (CSV or JSON by extension) if
-// non-empty, else generates one from spec.
+// LoadJobs loads a workload from tracePath (CSV or JSON by extension,
+// .gz transparent) if non-empty, else generates one from the registry
+// spec. Unknown scenario names error with the full registry listing.
 func LoadJobs(tracePath string, spec GenSpec) (item.List, error) {
 	if tracePath != "" {
-		f, err := os.Open(tracePath)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		if strings.HasSuffix(tracePath, ".json") {
-			return trace.ReadJSON(f)
-		}
-		return trace.ReadCSV(f)
+		return trace.ReadFile(tracePath)
 	}
-	switch spec.Kind {
-	case "uniform":
-		if spec.Dim > 1 {
-			return workload.GenerateVec(workload.UniformConfig(spec.N, spec.Rate, spec.Mu, spec.Seed), spec.Dim), nil
-		}
-		return workload.Generate(workload.UniformConfig(spec.N, spec.Rate, spec.Mu, spec.Seed)), nil
-	case "pareto":
-		if spec.Dim > 1 {
-			return workload.GenerateVec(workload.ParetoConfig(spec.N, spec.Rate, spec.Mu, spec.Seed), spec.Dim), nil
-		}
-		return workload.Generate(workload.ParetoConfig(spec.N, spec.Rate, spec.Mu, spec.Seed)), nil
-	case "gaming":
-		if spec.Dim > 1 {
-			return nil, fmt.Errorf("generator %q has no vector-demand form (use uniform or pareto with -dim)", spec.Kind)
-		}
-		l, _ := gaming.Sessions(gaming.Config{
-			Catalog: gaming.DefaultCatalog(), Rate: spec.Rate, N: spec.N, Seed: spec.Seed,
-		})
-		return l, nil
-	case "bursty":
-		if spec.Dim > 1 {
-			return nil, fmt.Errorf("generator %q has no vector-demand form (use uniform or pareto with -dim)", spec.Kind)
-		}
-		return workload.GenerateBursty(workload.BurstyConfig{
-			Config:      workload.UniformConfig(spec.N, spec.Rate, spec.Mu, spec.Seed),
-			BurstFactor: 10, MeanCalm: 30, MeanBurst: 3,
-		}), nil
-	case "":
-		return nil, fmt.Errorf("pass -trace FILE or -gen {uniform,pareto,gaming,bursty}")
-	default:
-		return nil, fmt.Errorf("unknown generator %q (uniform, pareto, gaming, bursty)", spec.Kind)
+	if spec.Spec == "" {
+		return nil, fmt.Errorf("pass -trace FILE or -gen SCENARIO; registered scenarios:\n%s", workload.Describe())
 	}
+	return workload.FromSpec(spec.Spec, spec.N, spec.Rate, spec.Mu, spec.Seed, spec.Dim)
+}
+
+// ListScenarios prints the scenario registry — every registered
+// workload with its description and parameter schema — the body of the
+// -list-workloads flag every CLI carries.
+func ListScenarios(w io.Writer) {
+	fmt.Fprintf(w, "registered workload scenarios (spec: name or name:key=value,...):\n%s", workload.Describe())
 }

@@ -1,8 +1,8 @@
 package cliutil
 
 import (
-	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"dbp/internal/trace"
@@ -10,16 +10,16 @@ import (
 )
 
 func TestLoadJobsGenerators(t *testing.T) {
-	for _, kind := range []string{"uniform", "pareto", "gaming", "bursty"} {
-		l, err := LoadJobs("", GenSpec{Kind: kind, N: 50, Rate: 1, Mu: 4, Seed: 1})
+	for _, spec := range []string{"uniform", "pareto", "gaming", "bursty", "zipfian", "hotspot:tenants=20", "diurnal", "equalduration"} {
+		l, err := LoadJobs("", GenSpec{Spec: spec, N: 50, Rate: 1, Mu: 4, Seed: 1})
 		if err != nil {
-			t.Fatalf("%s: %v", kind, err)
+			t.Fatalf("%s: %v", spec, err)
 		}
 		if len(l) != 50 {
-			t.Fatalf("%s: %d items", kind, len(l))
+			t.Fatalf("%s: %d items", spec, len(l))
 		}
 		if err := l.Validate(); err != nil {
-			t.Fatalf("%s: %v", kind, err)
+			t.Fatalf("%s: %v", spec, err)
 		}
 	}
 }
@@ -28,8 +28,14 @@ func TestLoadJobsErrors(t *testing.T) {
 	if _, err := LoadJobs("", GenSpec{}); err == nil {
 		t.Fatal("empty spec must error")
 	}
-	if _, err := LoadJobs("", GenSpec{Kind: "nope"}); err == nil {
+	// An unknown scenario error enumerates the registry (the stale-CLI
+	// self-correction path).
+	_, err := LoadJobs("", GenSpec{Spec: "nope"})
+	if err == nil {
 		t.Fatal("unknown generator must error")
+	}
+	if !strings.Contains(err.Error(), "zipfian") || !strings.Contains(err.Error(), "gaming") {
+		t.Fatalf("unknown-scenario error does not enumerate registry: %v", err)
 	}
 	if _, err := LoadJobs("/does/not/exist.csv", GenSpec{}); err == nil {
 		t.Fatal("missing file must error")
@@ -40,37 +46,25 @@ func TestLoadJobsTraceFiles(t *testing.T) {
 	dir := t.TempDir()
 	l := workload.Generate(workload.UniformConfig(30, 2, 4, 9))
 
-	csvPath := filepath.Join(dir, "jobs.csv")
-	f, err := os.Create(csvPath)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := trace.WriteCSV(f, l); err != nil {
-		t.Fatal(err)
-	}
-	f.Close()
-	got, err := LoadJobs(csvPath, GenSpec{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(got) != 30 {
-		t.Fatalf("csv load: %d items", len(got))
-	}
-
-	jsonPath := filepath.Join(dir, "jobs.json")
-	f, err = os.Create(jsonPath)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := trace.WriteJSON(f, l); err != nil {
-		t.Fatal(err)
-	}
-	f.Close()
-	got, err = LoadJobs(jsonPath, GenSpec{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(got) != 30 {
-		t.Fatalf("json load: %d items", len(got))
+	for _, name := range []string{"jobs.csv", "jobs.json", "jobs.csv.gz", "jobs.json.gz"} {
+		path := filepath.Join(dir, name)
+		if err := trace.WriteFile(path, l); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got, err := LoadJobs(path, GenSpec{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(got) != 30 {
+			t.Fatalf("%s load: %d items", name, len(got))
+		}
+		// The trace scenario spec must load the same file.
+		viaSpec, err := LoadJobs("", GenSpec{Spec: "trace:" + path})
+		if err != nil {
+			t.Fatalf("trace:%s: %v", name, err)
+		}
+		if len(viaSpec) != 30 {
+			t.Fatalf("trace:%s load: %d items", name, len(viaSpec))
+		}
 	}
 }

@@ -5,7 +5,6 @@ import (
 
 	"dbp/internal/analysis"
 	"dbp/internal/cloud"
-	"dbp/internal/gaming"
 	"dbp/internal/item"
 	"dbp/internal/opt"
 	"dbp/internal/packing"
@@ -48,7 +47,10 @@ func runE14(cfg Config) []*analysis.Table {
 	if cfg.Quick {
 		n = 150
 	}
-	l, _ := gaming.Sessions(gaming.Config{Catalog: gaming.DefaultCatalog(), Rate: 0.5, N: n, Seed: cfg.Seed})
+	l, err := workload.FromSpec("gaming", n, 0.5, 0, cfg.Seed, 1)
+	if err != nil {
+		panic(fmt.Sprintf("E14: %v", err))
+	}
 	fleet, plan := e14Fleet()
 
 	t := analysis.NewTable("E14: heterogeneous fleet (3 tiers, sub-linear pricing, hourly billing)",
@@ -77,28 +79,32 @@ func runE14(cfg Config) []*analysis.Table {
 	return []*analysis.Table{t}
 }
 
-// runE15 stresses the policies with bursty (Markov-modulated Poisson)
-// arrivals: flash crowds open many servers at once, whose stragglers then
-// keep them alive — the regime where the spread between policies widens
-// compared with smooth Poisson arrivals of the same average rate.
+// runE15 stresses the policies with non-smooth arrival curves: bursty
+// (Markov-modulated Poisson) flash crowds open many servers at once,
+// whose stragglers then keep them alive, and diurnal sinusoid modulation
+// alternates packed days with idle nights — the regimes where the spread
+// between policies widens compared with smooth Poisson arrivals of the
+// same average rate. The arrival shapes are registry scenarios, selected
+// by spec.
 func runE15(cfg Config) []*analysis.Table {
 	n := 400
 	if cfg.Quick {
 		n = 120
 	}
 	mu := 8.0
-	t := analysis.NewTable("E15: bursty (MMPP) vs smooth arrivals — conservative ratio",
+	t := analysis.NewTable("E15: arrival shape (smooth vs bursty vs diurnal) — conservative ratio",
 		"arrivals", "FF", "BF", "NF", "HFF", "peak open (FF)")
-	for _, mode := range []string{"smooth", "bursty x10"} {
-		var l = workload.Generate(workload.UniformConfig(n, 1, mu, cfg.Seed))
-		if mode != "smooth" {
-			l = workload.GenerateBursty(workload.BurstyConfig{
-				Config:      workload.UniformConfig(n, 1, mu, cfg.Seed),
-				BurstFactor: 10, MeanCalm: 30, MeanBurst: 3,
-			})
+	for _, mode := range []struct{ label, spec string }{
+		{"smooth", "uniform"},
+		{"bursty x10", "bursty:factor=10,calm=30,burst=3"},
+		{"diurnal", "diurnal:amp=0.8"},
+	} {
+		l, err := workload.FromSpec(mode.spec, n, 1, mu, cfg.Seed, 1)
+		if err != nil {
+			panic(fmt.Sprintf("E15: %v", err))
 		}
 		b := optBracket(l)
-		row := []any{mode}
+		row := []any{mode.label}
 		var peak int
 		for _, mk := range []func() packing.Algorithm{
 			func() packing.Algorithm { return packing.NewFirstFit() },
@@ -116,6 +122,6 @@ func runE15(cfg Config) []*analysis.Table {
 		row = append(row, peak)
 		t.AddRow(row...)
 	}
-	t.AddNote("same n, duration and size distributions; bursts concentrate arrivals 10x for short spells")
+	t.AddNote("same n, duration and size distributions; bursts concentrate arrivals 10x for short spells, diurnal modulates the rate 9x peak/trough")
 	return []*analysis.Table{t}
 }

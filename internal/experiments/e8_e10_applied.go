@@ -6,7 +6,7 @@ import (
 
 	"dbp/internal/analysis"
 	"dbp/internal/cloud"
-	"dbp/internal/gaming"
+	_ "dbp/internal/gaming" // registers the "gaming" scenario
 	"dbp/internal/opt"
 	"dbp/internal/packing"
 	"dbp/internal/parallel"
@@ -31,7 +31,10 @@ func runE8(cfg Config) []*analysis.Table {
 	t1 := analysis.NewTable("E8a: cloud gaming dispatch (GPU sessions, mu<=60)",
 		"arrival rate", "policy", "servers", "peak", "usage (min)", "$/continuous", "$/hourly", "overhead%")
 	for _, rate := range rates {
-		l, _ := gaming.Sessions(gaming.Config{Catalog: gaming.DefaultCatalog(), Rate: rate, N: n, Seed: cfg.Seed})
+		l, err := workload.FromSpec("gaming", n, rate, 0, cfg.Seed, 1)
+		if err != nil {
+			panic(err)
+		}
 		for _, algo := range []packing.Algorithm{packing.NewFirstFit(), packing.NewBestFit(), packing.NewNextFit()} {
 			res := packing.MustRun(algo, l, nil)
 			// Time unit is minutes; $0.90/hour GPU server.
@@ -44,7 +47,10 @@ func runE8(cfg Config) []*analysis.Table {
 
 	t2 := analysis.NewTable("E8b: billing granularity vs idealized objective (First Fit)",
 		"granularity (min)", "billed time", "usage time", "overhead%")
-	l, _ := gaming.Sessions(gaming.Config{Catalog: gaming.DefaultCatalog(), Rate: 0.5, N: n, Seed: cfg.Seed})
+	l, err := workload.FromSpec("gaming", n, 0.5, 0, cfg.Seed, 1)
+	if err != nil {
+		panic(err)
+	}
 	res := packing.MustRun(packing.NewFirstFit(), l, nil)
 	for _, g := range []float64{120, 60, 15, 1, 0} {
 		iv := cloud.Cost(res, cloud.BillingModel{Granularity: g, Rate: 1})
@@ -54,10 +60,13 @@ func runE8(cfg Config) []*analysis.Table {
 	return []*analysis.Table{t1, t2}
 }
 
-// runE9 compares every policy on random workloads across load levels and
-// duration distributions, reporting mean conservative ratios — the
-// practical counterpart of the theory: First Fit tracks the optimum
-// closely while Next Fit and Last Fit trail.
+// runE9 compares every policy on every registered statistical scenario
+// across load levels, reporting mean conservative ratios — the practical
+// counterpart of the theory: First Fit tracks the optimum closely while
+// Next Fit and Last Fit trail. A scenario added to the workload registry
+// appears here with no experiment change. The equal-duration rows are
+// additionally checked against the Masoori et al. constant (First Fit's
+// ratio collapses to ~2 when mu = 1).
 func runE9(cfg Config) []*analysis.Table {
 	mus := []float64{2, 8}
 	rates := []float64{0.5, 2, 8}
@@ -70,29 +79,22 @@ func runE9(cfg Config) []*analysis.Table {
 		n = 60
 	}
 
-	kinds := []struct {
-		name string
-		gen  func(rate, mu float64, seed int64) workload.Config
-	}{
-		{"uniform", func(rate, mu float64, seed int64) workload.Config { return workload.UniformConfig(n, rate, mu, seed) }},
-		{"pareto", func(rate, mu float64, seed int64) workload.Config { return workload.ParetoConfig(n, rate, mu, seed) }},
-		{"bimodal", func(rate, mu float64, seed int64) workload.Config { return workload.BimodalConfig(n, rate, mu, seed) }},
-	}
+	scens := workload.Statistical()
 
-	t := analysis.NewTable("E9: mean conservative ratio (usage/OPT_lower) on random workloads",
-		"dist", "mu", "rate", "FF", "BF", "WF", "LF", "NF", "HFF", "bins FF")
-	// Build the (dist, mu, rate) grid, then evaluate cells in parallel —
-	// each cell is independent and the exact-OPT integrals dominate.
+	t := analysis.NewTable("E9: mean conservative ratio (usage/OPT_lower) on registered statistical scenarios",
+		"scenario", "mu", "rate", "FF", "BF", "WF", "LF", "NF", "HFF", "bins FF")
+	// Build the (scenario, mu, rate) grid, then evaluate cells in parallel
+	// — each cell is independent and the exact-OPT integrals dominate.
 	type cell struct {
-		kindIdx int
-		mu      float64
-		rate    float64
+		scIdx int
+		mu    float64
+		rate  float64
 	}
 	var grid []cell
-	for ki := range kinds {
+	for si := range scens {
 		for _, mu := range mus {
 			for _, rate := range rates {
-				grid = append(grid, cell{ki, mu, rate})
+				grid = append(grid, cell{si, mu, rate})
 			}
 		}
 	}
@@ -102,10 +104,14 @@ func runE9(cfg Config) []*analysis.Table {
 	}
 	results := parallel.Map(len(grid), 0, func(gi int) cellResult {
 		c := grid[gi]
+		inst := workload.MustLookup(scens[c.scIdx].Name())
 		ratios := map[string][]float64{}
 		binsFF := 0
 		for _, seed := range seeds {
-			l := workload.Generate(kinds[c.kindIdx].gen(c.rate, c.mu, seed))
+			l, err := inst.Generate(n, c.rate, c.mu, seed, 1)
+			if err != nil {
+				panic(err)
+			}
 			b := opt.Total(l, 48, 0)
 			for name, algo := range map[string]packing.Algorithm{
 				"FF": packing.NewFirstFit(), "BF": packing.NewBestFit(),
@@ -125,11 +131,21 @@ func runE9(cfg Config) []*analysis.Table {
 		}
 		return cellResult{means: means, binsFF: binsFF}
 	})
+	eqBound, eqWorst := analysis.EqualDurationFirstFitBound(), 0.0
 	for gi, c := range grid {
 		m := results[gi].means
-		t.AddRow(kinds[c.kindIdx].name, c.mu, c.rate, m["FF"], m["BF"], m["WF"], m["LF"], m["NF"], m["HFF"], results[gi].binsFF)
+		t.AddRow(scens[c.scIdx].Name(), c.mu, c.rate, m["FF"], m["BF"], m["WF"], m["LF"], m["NF"], m["HFF"], results[gi].binsFF)
+		if scens[c.scIdx].Name() == "equalduration" && m["FF"] > eqWorst {
+			eqWorst = m["FF"]
+		}
 	}
 	t.AddNote("ratios vs OPT lower bracket: over-estimates of the true competitive ratio; relative ordering is the signal")
+	t.AddNote(fmt.Sprintf("scenarios swept from the workload registry: %d statistical families", len(scens)))
+	if eqWorst > eqBound {
+		t.AddNote(fmt.Sprintf("VIOLATION: equalduration FF ratio %.4f exceeds the Masoori et al. reference %.4g", eqWorst, eqBound))
+	} else {
+		t.AddNote(fmt.Sprintf("equalduration check: worst FF ratio %.4f <= %.4g (Masoori et al. equal-duration reference; cf. Theorem 1's mu+4 = 5)", eqWorst, eqBound))
+	}
 	return []*analysis.Table{t}
 }
 
@@ -153,10 +169,9 @@ func runE10(cfg Config) []*analysis.Table {
 		type agg struct{ usage, lo, hi float64 }
 		sums := map[string]*agg{}
 		for _, seed := range seeds {
-			cfgW := workload.UniformConfig(n, 2, 4, seed)
-			var l = workload.Generate(cfgW)
-			if d > 1 {
-				l = workload.GenerateVec(cfgW, d)
+			l, err := workload.FromSpec("uniform", n, 2, 4, seed, d)
+			if err != nil {
+				panic(err)
 			}
 			var b opt.Bounds
 			if d > 1 {

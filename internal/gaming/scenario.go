@@ -1,0 +1,35 @@
+package gaming
+
+import (
+	"fmt"
+
+	"dbp/internal/item"
+	"dbp/internal/workload"
+)
+
+// The gaming scenario registers itself with the workload registry from
+// this package (not from workload, which it imports — the usual
+// driver-registration pattern): any binary that imports gaming, directly
+// or via cliutil, can select "gaming" by spec string.
+
+type scenario struct{}
+
+func (scenario) Name() string { return "gaming" }
+func (scenario) Description() string {
+	return "cloud-gaming sessions from the default GPU title catalog (mu fixed at 60 by the catalog)"
+}
+func (scenario) Kind() workload.ScenarioKind { return workload.KindStatistical }
+func (scenario) Params() []workload.Param    { return nil }
+
+func (scenario) Generate(req workload.Request) (item.List, error) {
+	if req.Dim > 1 {
+		return nil, workload.ErrScalarOnly
+	}
+	if req.N <= 0 || req.Rate <= 0 {
+		return nil, fmt.Errorf("need n > 0 and rate > 0")
+	}
+	l, _ := Sessions(Config{Catalog: DefaultCatalog(), Rate: req.Rate, N: req.N, Seed: req.Seed})
+	return l, nil
+}
+
+func init() { workload.Register(scenario{}) }

@@ -12,7 +12,7 @@ import (
 
 func testScript(t *testing.T, n int) *Script {
 	t.Helper()
-	s, err := GenerateScript(WorkloadUniform, n, 50, 10, 1, 1)
+	s, err := GenerateScript("uniform", n, 50, 10, 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

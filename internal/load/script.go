@@ -108,37 +108,19 @@ func (s *Script) Partition(n int) []*Script {
 	return parts
 }
 
-// WorkloadName selects one of the preset workload shapes.
-type WorkloadName string
-
-const (
-	WorkloadUniform   WorkloadName = "uniform"
-	WorkloadPareto    WorkloadName = "pareto"
-	WorkloadBimodal   WorkloadName = "bimodal"
-	WorkloadSmallItem WorkloadName = "smallitem"
-)
-
-// GenerateScript builds a script from a preset workload: n jobs with
-// duration ratio mu, arrival rate rate (which, together with mean
+// GenerateScript builds a script from any registered workload scenario
+// (spec "name" or "name:key=value,..." — see workload.Describe): n jobs
+// with duration ratio mu, arrival rate rate (which, together with mean
 // duration, fixes the steady-state active population — the trace's
 // concurrency profile), seeded for reproducibility. dim > 1 draws
-// vector demands.
-func GenerateScript(name WorkloadName, n int, rate, mu float64, seed int64, dim int) (*Script, error) {
-	var cfg workload.Config
-	switch name {
-	case WorkloadUniform, "":
-		cfg = workload.UniformConfig(n, rate, mu, seed)
-	case WorkloadPareto:
-		cfg = workload.ParetoConfig(n, rate, mu, seed)
-	case WorkloadBimodal:
-		cfg = workload.BimodalConfig(n, rate, mu, seed)
-	case WorkloadSmallItem:
-		cfg = workload.SmallItemConfig(n, rate, mu, seed)
-	default:
-		return nil, fmt.Errorf("load: unknown workload %q (want uniform, pareto, bimodal, smallitem)", name)
+// vector demands. An empty spec defaults to "uniform".
+func GenerateScript(spec string, n int, rate, mu float64, seed int64, dim int) (*Script, error) {
+	if spec == "" {
+		spec = "uniform"
 	}
-	if dim > 1 {
-		return ScriptFromList(workload.GenerateVec(cfg, dim)), nil
+	l, err := workload.FromSpec(spec, n, rate, mu, seed, dim)
+	if err != nil {
+		return nil, fmt.Errorf("load: %w", err)
 	}
-	return ScriptFromList(workload.Generate(cfg)), nil
+	return ScriptFromList(l), nil
 }

@@ -11,31 +11,50 @@ package packing_test
 // itself imports packing.
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"testing"
 
 	"dbp/internal/event"
+	_ "dbp/internal/gaming" // registers the "gaming" scenario
 	"dbp/internal/item"
 	"dbp/internal/packing"
 	"dbp/internal/workload"
 )
 
-// equivWorkloads returns the named instances the suite checks. Sizes are
-// modest — the point is coverage of placement decisions, not throughput.
-func equivWorkloads() map[string]item.List {
-	poisson := workload.Generate(workload.UniformConfig(400, 6, 8, 11))
-	bursty := workload.GenerateBursty(workload.BurstyConfig{
+// sampleTrace is the committed instance the "trace" scenario replays in
+// this suite (written by tracegen; gzip output is byte-deterministic).
+const sampleTrace = "../workload/testdata/sample.csv.gz"
+
+// equivWorkloads returns one scalar instance per REGISTERED scenario —
+// statistical, adversarial, and trace replay alike — so any scenario
+// joining the registry is automatically packed bit-identically on both
+// engines. Sizes are modest: the point is coverage of placement
+// decisions, not throughput. mu=8 satisfies every scenario's bounds
+// (stress needs mu > 1, bestfit-relay mu >= 2); for the adversaries n
+// is the construction parameter.
+func equivWorkloads(t *testing.T) map[string]item.List {
+	t.Helper()
+	out := map[string]item.List{}
+	for _, s := range workload.Scenarios() {
+		spec := s.Name()
+		if s.Kind() == workload.KindTrace {
+			spec = "trace:" + sampleTrace
+		}
+		l, err := workload.FromSpec(spec, 240, 6, 8, 11, 1)
+		if err != nil {
+			t.Fatalf("scenario %s: %v", s.Name(), err)
+		}
+		out[s.Name()] = l
+	}
+	// One extra MMPP shape with short, violent bursts — historically the
+	// best generator of keep-alive edge cases.
+	out["mmpp-violent"] = workload.GenerateBursty(workload.BurstyConfig{
 		Config:      workload.UniformConfig(400, 3, 8, 12),
 		BurstFactor: 8, MeanCalm: 4, MeanBurst: 1,
 	})
-	return map[string]item.List{
-		"poisson":       poisson,
-		"mmpp":          bursty,
-		"nextfit-adv":   workload.NextFitAdversary(120, 8),
-		"anyfit-trap":   workload.AnyFitTrap(120, 8),
-		"bestfit-relay": workload.BestFitRelay(6, 4, 4),
-	}
+	return out
 }
 
 func sameRun(t *testing.T, label string, a, b *packing.Result) {
@@ -57,15 +76,36 @@ func sameRun(t *testing.T, label string, a, b *packing.Result) {
 	}
 }
 
-// equivVectorWorkloads returns the d-dimensional instances: a Poisson
-// trace with correlated vector demands, and a complementary-demand
-// adversary — job i is heavy (0.6) in dimension i mod d and light
-// (0.05) everywhere else, with staggered lifetimes — built so that
-// which server fits is decided by a DIFFERENT dimension from one
-// arrival to the next, the worst case for any per-dimension pruning
-// structure that dares to cut a subtree it shouldn't.
-func equivVectorWorkloads(d int) map[string]item.List {
-	poisson := workload.GenerateVec(workload.UniformConfig(300, 5, 8, int64(17+d)), d)
+// equivVectorWorkloads returns the d-dimensional instances. At d=2 it
+// sweeps EVERY registered scenario with a vector-demand form (scalar-only
+// ones are skipped via ErrScalarOnly); at higher d it keeps a Poisson
+// trace with independent vector demands. Both dimensions add a
+// complementary-demand adversary — job i is heavy (0.6) in dimension
+// i mod d and light (0.05) everywhere else, with staggered lifetimes —
+// built so that which server fits is decided by a DIFFERENT dimension
+// from one arrival to the next, the worst case for any per-dimension
+// pruning structure that dares to cut a subtree it shouldn't.
+func equivVectorWorkloads(t *testing.T, d int) map[string]item.List {
+	t.Helper()
+	out := map[string]item.List{}
+	if d == 2 {
+		for _, s := range workload.Scenarios() {
+			spec := s.Name()
+			if s.Kind() == workload.KindTrace {
+				spec = "trace:" + sampleTrace
+			}
+			l, err := workload.FromSpec(spec, 160, 5, 8, int64(17+d), d)
+			if errors.Is(err, workload.ErrScalarOnly) {
+				continue
+			}
+			if err != nil {
+				t.Fatalf("scenario %s (d=%d): %v", s.Name(), d, err)
+			}
+			out[s.Name()] = l
+		}
+	} else {
+		out["vecpoisson"] = workload.GenerateVec(workload.UniformConfig(300, 5, 8, int64(17+d)), d)
+	}
 	adv := make(item.List, 0, 120)
 	for i := 0; i < 120; i++ {
 		sizes := make([]float64, d)
@@ -79,10 +119,8 @@ func equivVectorWorkloads(d int) map[string]item.List {
 			Arrival: arr, Departure: arr + 3 + float64(i%7),
 		})
 	}
-	return map[string]item.List{
-		"vecpoisson": poisson,
-		"complement": adv,
-	}
+	out["complement"] = adv
+	return out
 }
 
 // equivPolicies is every policy the oracle covers: the standard scalar
@@ -100,7 +138,7 @@ func equivPolicies() map[string]packing.Algorithm {
 // oracle: packing.Run on both engines, every Standard policy, every
 // workload, keep-alive off and on.
 func TestEnginesEquivalentAcrossPolicies(t *testing.T) {
-	for wname, jobs := range equivWorkloads() {
+	for wname, jobs := range equivWorkloads(t) {
 		for _, keepAlive := range []float64{0, 0.7} {
 			for pname, algo := range packing.Standard() {
 				label := fmt.Sprintf("%s/%s/ka=%g", wname, pname, keepAlive)
@@ -127,7 +165,7 @@ func TestEnginesEquivalentAcrossPolicies(t *testing.T) {
 // agree on every per-event decision — server id, open/close actions —
 // not just the final aggregates.
 func TestStreamEnginesEquivalentAcrossPolicies(t *testing.T) {
-	for wname, jobs := range equivWorkloads() {
+	for wname, jobs := range equivWorkloads(t) {
 		for _, keepAlive := range []float64{0, 0.7} {
 			// The two streams run interleaved, so stateful policies (Next
 			// Fit's current bin, Hybrid's class maps) need one instance per
@@ -189,7 +227,7 @@ func TestStreamEnginesEquivalentAcrossPolicies(t *testing.T) {
 // d in {2, 4}, keep-alive off and on.
 func TestEnginesEquivalentVector(t *testing.T) {
 	for _, d := range []int{2, 4} {
-		for wname, jobs := range equivVectorWorkloads(d) {
+		for wname, jobs := range equivVectorWorkloads(t, d) {
 			for _, keepAlive := range []float64{0, 0.7} {
 				for pname, algo := range equivPolicies() {
 					label := fmt.Sprintf("d=%d/%s/%s/ka=%g", d, wname, pname, keepAlive)
@@ -217,7 +255,7 @@ func TestEnginesEquivalentVector(t *testing.T) {
 // standard and vector policy on the vector workloads.
 func TestStreamEnginesEquivalentVector(t *testing.T) {
 	for _, d := range []int{2, 4} {
-		for wname, jobs := range equivVectorWorkloads(d) {
+		for wname, jobs := range equivVectorWorkloads(t, d) {
 			for _, keepAlive := range []float64{0, 0.7} {
 				linAlgos := equivPolicies()
 				for pname, algo := range equivPolicies() {

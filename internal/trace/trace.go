@@ -7,11 +7,14 @@
 package trace
 
 import (
+	"compress/gzip"
 	"encoding/csv"
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"strconv"
+	"strings"
 
 	"dbp/internal/item"
 	"dbp/internal/packing"
@@ -20,6 +23,63 @@ import (
 // csvHeader is the required first row of the CSV format. Vector demands
 // use additional size columns "size2", "size3", ... when present.
 var csvHeader = []string{"id", "size", "arrival", "departure"}
+
+// ReadFile loads a trace from a file, picking the format from the
+// extension (.json for JSON, anything else CSV) and decompressing
+// gzip-compressed traces (.csv.gz / .json.gz) transparently — large
+// public cluster traces ship and commit compressed.
+func ReadFile(path string) (item.List, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	defer f.Close()
+	var r io.Reader = f
+	name := path
+	if strings.HasSuffix(name, ".gz") {
+		zr, err := gzip.NewReader(f)
+		if err != nil {
+			return nil, fmt.Errorf("trace: %s: %w", path, err)
+		}
+		defer zr.Close()
+		r = zr
+		name = strings.TrimSuffix(name, ".gz")
+	}
+	if strings.HasSuffix(name, ".json") {
+		return ReadJSON(r)
+	}
+	return ReadCSV(r)
+}
+
+// WriteFile stores a trace, the mirror of ReadFile: format by extension,
+// gzip-compressed when the path ends in .gz.
+func WriteFile(path string, l item.List) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	defer f.Close()
+	var w io.Writer = f
+	name := path
+	var zw *gzip.Writer
+	if strings.HasSuffix(name, ".gz") {
+		zw = gzip.NewWriter(f)
+		w = zw
+		name = strings.TrimSuffix(name, ".gz")
+	}
+	if strings.HasSuffix(name, ".json") {
+		err = WriteJSON(w, l)
+	} else {
+		err = WriteCSV(w, l)
+	}
+	if err == nil && zw != nil {
+		err = zw.Close()
+	}
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
 
 // WriteCSV writes the list in CSV format, items sorted by (arrival, id).
 func WriteCSV(w io.Writer, l item.List) error {

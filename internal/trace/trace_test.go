@@ -3,13 +3,43 @@ package trace
 import (
 	"bytes"
 	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"dbp/internal/item"
 	"dbp/internal/packing"
-	"dbp/internal/workload"
 )
+
+// randomList builds a seeded random instance locally: this package
+// cannot import internal/workload (workload's trace scenario imports
+// this package), and the codec tests only need plausible float values.
+func randomList(n int, seed int64, dim int) item.List {
+	rng := rand.New(rand.NewSource(seed))
+	l := make(item.List, n)
+	t := 0.0
+	for i := range l {
+		t += rng.ExpFloat64() / 2
+		it := item.Item{
+			ID:      item.ID(i + 1),
+			Arrival: t, Departure: t + 1 + 6*rng.Float64(),
+			Size: 0.05 + 0.9*rng.Float64(),
+		}
+		if dim > 1 {
+			it.Sizes = make([]float64, dim)
+			maxc := 0.0
+			for k := range it.Sizes {
+				it.Sizes[k] = 0.05 + 0.9*rng.Float64()
+				maxc = math.Max(maxc, it.Sizes[k])
+			}
+			it.Size = maxc
+		}
+		l[i] = it
+	}
+	return l
+}
 
 func roundTripCSV(t *testing.T, l item.List) item.List {
 	t.Helper()
@@ -60,26 +90,70 @@ func equalLists(a, b item.List) bool {
 }
 
 func TestCSVRoundTripExact(t *testing.T) {
-	l := workload.Generate(workload.UniformConfig(200, 3, 7, 11))
+	l := randomList(200, 11, 1)
 	if !equalLists(l, roundTripCSV(t, l)) {
 		t.Fatal("CSV round trip not exact")
 	}
 }
 
 func TestJSONRoundTripExact(t *testing.T) {
-	l := workload.Generate(workload.ParetoConfig(200, 3, 7, 11))
+	l := randomList(200, 12, 1)
 	if !equalLists(l, roundTripJSON(t, l)) {
 		t.Fatal("JSON round trip not exact")
 	}
 }
 
 func TestVectorRoundTrip(t *testing.T) {
-	l := workload.GenerateVec(workload.UniformConfig(50, 3, 4, 2), 3)
+	l := randomList(50, 2, 3)
 	if !equalLists(l, roundTripCSV(t, l)) {
 		t.Fatal("vector CSV round trip not exact")
 	}
 	if !equalLists(l, roundTripJSON(t, l)) {
 		t.Fatal("vector JSON round trip not exact")
+	}
+}
+
+// TestFileRoundTripGzip pins the transparent-compression contract of
+// ReadFile/WriteFile: every extension combination — plain and gzipped
+// CSV and JSON — round-trips exactly, including vector demands, and a
+// .gz file is genuinely gzip on disk (magic bytes), not a renamed plain
+// file.
+func TestFileRoundTripGzip(t *testing.T) {
+	dir := t.TempDir()
+	l := randomList(80, 21, 2)
+	for _, name := range []string{"t.csv", "t.json", "t.csv.gz", "t.json.gz"} {
+		path := filepath.Join(dir, name)
+		if err := WriteFile(path, l); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got, err := ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !equalLists(l, got) {
+			t.Fatalf("%s: file round trip not exact", name)
+		}
+	}
+	buf, err := os.ReadFile(filepath.Join(dir, "t.csv.gz"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) < 2 || buf[0] != 0x1f || buf[1] != 0x8b {
+		t.Fatal("t.csv.gz is not gzip-compressed on disk")
+	}
+}
+
+func TestReadFileErrors(t *testing.T) {
+	if _, err := ReadFile("/does/not/exist.csv"); err == nil {
+		t.Fatal("missing file must error")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.csv.gz")
+	if err := os.WriteFile(bad, []byte("not gzip at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(bad); err == nil {
+		t.Fatal("corrupt gzip must error")
 	}
 }
 
@@ -172,7 +246,7 @@ func TestWriteAssignment(t *testing.T) {
 }
 
 func TestAssignmentRoundTrip(t *testing.T) {
-	l := workload.Generate(workload.UniformConfig(60, 2, 4, 3))
+	l := randomList(60, 3, 1)
 	res := packing.MustRun(packing.NewFirstFit(), l, nil)
 	var buf bytes.Buffer
 	if err := WriteAssignment(&buf, res); err != nil {

@@ -1,0 +1,265 @@
+package workload_test
+
+// Registry-level tests live in an external package so they can pull in
+// scenario providers that themselves import internal/workload (the
+// gaming catalog registers via init) and the analysis bounds.
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dbp/internal/analysis"
+	_ "dbp/internal/gaming" // registers the "gaming" scenario
+	"dbp/internal/opt"
+	"dbp/internal/packing"
+	"dbp/internal/workload"
+)
+
+const sampleTrace = "testdata/sample.csv.gz"
+
+// specFor turns a registered scenario into a runnable spec (the trace
+// scenario needs a path).
+func specFor(s workload.Scenario) string {
+	if s.Kind() == workload.KindTrace {
+		return "trace:" + sampleTrace
+	}
+	return s.Name()
+}
+
+// TestRegistrySmoke generates a small instance from EVERY registered
+// scenario at defaults and validates it — the check a new family must
+// pass by registration alone. It also pins the self-description
+// contract: every name appears in the Describe listing.
+func TestRegistrySmoke(t *testing.T) {
+	scens := workload.Scenarios()
+	if len(scens) < 14 {
+		t.Fatalf("registry has %d scenarios, want >= 14 (families missing?)", len(scens))
+	}
+	listing := workload.Describe()
+	for _, s := range scens {
+		if s.Description() == "" {
+			t.Errorf("%s: empty description", s.Name())
+		}
+		if !strings.Contains(listing, s.Name()) {
+			t.Errorf("Describe() does not list %s", s.Name())
+		}
+		l, err := workload.FromSpec(specFor(s), 60, 2, 8, 3, 1)
+		if err != nil {
+			t.Errorf("%s: %v", s.Name(), err)
+			continue
+		}
+		if len(l) == 0 {
+			t.Errorf("%s: empty instance", s.Name())
+		}
+		if err := l.Validate(); err != nil {
+			t.Errorf("%s: invalid instance: %v", s.Name(), err)
+		}
+	}
+}
+
+// TestScenarioSeedDeterminism pins the reproducibility contract: the
+// same (spec, seed) yields the identical instance, and for statistical
+// scenarios a different seed yields a different one.
+func TestScenarioSeedDeterminism(t *testing.T) {
+	for _, s := range workload.Scenarios() {
+		spec := specFor(s)
+		a, err := workload.FromSpec(spec, 80, 2, 8, 42, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		b, err := workload.FromSpec(spec, 80, 2, 8, 42, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: same seed, different instances", s.Name())
+		}
+		if s.Kind() != workload.KindStatistical {
+			continue // adversaries and traces are seed-insensitive by design
+		}
+		c, err := workload.FromSpec(spec, 80, 2, 8, 43, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if reflect.DeepEqual(a, c) {
+			t.Errorf("%s: different seeds, identical instances", s.Name())
+		}
+	}
+}
+
+// TestScalarOnlyScenarios pins the ErrScalarOnly contract sweeps rely
+// on: scenarios without a vector form refuse Dim > 1 with the sentinel.
+func TestScalarOnlyScenarios(t *testing.T) {
+	if _, err := workload.FromSpec("bursty", 40, 2, 8, 1, 2); !errors.Is(err, workload.ErrScalarOnly) {
+		t.Fatalf("bursty dim=2: got %v, want ErrScalarOnly", err)
+	}
+	if _, err := workload.FromSpec("uniform", 40, 2, 8, 1, 2); err != nil {
+		t.Fatalf("uniform dim=2: %v", err)
+	}
+}
+
+// TestUnknownScenarioError pins the self-correcting error contract:
+// unknown names, unknown params, ill-typed and malformed params all
+// fail loudly, and the unknown-name error carries the whole registry.
+func TestUnknownScenarioError(t *testing.T) {
+	_, err := workload.Lookup("nope")
+	if err == nil {
+		t.Fatal("unknown scenario must error")
+	}
+	for _, want := range []string{"zipfian", "hotspot", "nextfit-adv", "trace"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("unknown-name error does not enumerate %q: %v", want, err)
+		}
+	}
+	for _, spec := range []string{"zipfian:bogus=1", "zipfian:alpha=abc", "zipfian:alpha", "uniform:x=1"} {
+		if _, err := workload.Lookup(spec); err == nil {
+			t.Errorf("Lookup(%q) must error", spec)
+		}
+	}
+	// Params overlay defaults without mutating the registered schema.
+	in := workload.MustLookup("zipfian:alpha=1.9,classes=8")
+	l, err := in.Generate(50, 2, 4, 1, 1)
+	if err != nil || len(l) != 50 {
+		t.Fatalf("parameterized zipfian: %v (%d items)", err, len(l))
+	}
+}
+
+// TestTraceScenario replays the committed sample through the registry
+// path and checks the error cases.
+func TestTraceScenario(t *testing.T) {
+	l, err := workload.FromSpec("trace:"+sampleTrace, 0, 0, 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l) != 40 {
+		t.Fatalf("sample trace: %d items, want 40", len(l))
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := workload.FromSpec("trace", 0, 0, 0, 0, 1); err == nil {
+		t.Fatal("trace without path must error")
+	}
+	if _, err := workload.FromSpec("trace:/does/not/exist.csv", 0, 0, 0, 0, 1); err == nil {
+		t.Fatal("trace with missing file must error")
+	}
+}
+
+// TestZipfianRankFrequency checks the advertised skew: the empirical
+// rank-frequency curve of the sampled size classes follows a power law
+// with exponent ~ -alpha (log-log least-squares slope).
+func TestZipfianRankFrequency(t *testing.T) {
+	c := workload.ZipfianConfig{
+		Config:  workload.UniformConfig(20000, 5, 4, 2),
+		Alpha:   1.1,
+		Classes: 16,
+		LoSize:  0.05, HiSize: 0.95,
+	}
+	l := workload.GenerateZipfian(c, 1)
+	counts := make([]int, c.Classes+1)
+	for _, it := range l {
+		r := c.RankOfSize(it.Size)
+		if r < 1 || r > c.Classes {
+			t.Fatalf("item size %g maps to rank %d outside [1, %d]", it.Size, r, c.Classes)
+		}
+		counts[r]++
+	}
+	// Least squares on (log r, log freq) over ranks with samples.
+	var sx, sy, sxx, sxy float64
+	n := 0.0
+	for r := 1; r <= c.Classes; r++ {
+		if counts[r] == 0 {
+			continue
+		}
+		x, y := math.Log(float64(r)), math.Log(float64(counts[r]))
+		sx, sy, sxx, sxy = sx+x, sy+y, sxx+x*x, sxy+x*y
+		n++
+	}
+	slope := (n*sxy - sx*sy) / (n*sxx - sx*sx)
+	if math.Abs(slope-(-c.Alpha)) > 0.15 {
+		t.Fatalf("rank-frequency slope %.3f, want ~ %.3f (+-0.15)", slope, -c.Alpha)
+	}
+}
+
+// TestHotspotTenantShare checks the tenant-affinity encoding and the
+// advertised skew: the hot tenant set receives at least (roughly) the
+// configured traffic share, recovered from the job IDs alone.
+func TestHotspotTenantShare(t *testing.T) {
+	c := workload.HotspotConfig{
+		Config:  workload.UniformConfig(20000, 5, 4, 3),
+		Tenants: 50, HotFrac: 0.1, HotShare: 0.8,
+	}
+	l := workload.GenerateHotspot(c, 1)
+	hot := c.HotTenants()
+	if hot != 5 {
+		t.Fatalf("HotTenants() = %d, want 5", hot)
+	}
+	hotJobs := 0
+	for _, it := range l {
+		tenant := workload.TenantOf(it.ID, c.Tenants)
+		if tenant < 0 || tenant >= c.Tenants {
+			t.Fatalf("job %d decodes to tenant %d outside [0, %d)", it.ID, tenant, c.Tenants)
+		}
+		if tenant < hot {
+			hotJobs++
+		}
+	}
+	share := float64(hotJobs) / float64(len(l))
+	if share < 0.75 || share > 0.85 {
+		t.Fatalf("hot tenant share %.3f, want ~0.8 (binomial noise band [0.75, 0.85])", share)
+	}
+}
+
+// TestDiurnalPeakTrough checks the modulation actually lands in the
+// arrival curve: with amplitude 0.8 the instantaneous rate ratio is 9x,
+// so the quarter-cycle around the peak phase must see several times the
+// arrivals of the quarter-cycle around the trough.
+func TestDiurnalPeakTrough(t *testing.T) {
+	c := workload.DiurnalConfig{
+		Config:    workload.UniformConfig(20000, 10, 4, 4),
+		Amplitude: 0.8,
+	}
+	l := workload.GenerateDiurnal(c, 1)
+	period := c.EffectivePeriod()
+	peak, trough := 0, 0
+	for _, it := range l {
+		phase := math.Mod(it.Arrival, period) / period
+		switch {
+		case phase >= 0.125 && phase < 0.375: // sin peak at phase 0.25
+			peak++
+		case phase >= 0.625 && phase < 0.875: // sin trough at phase 0.75
+			trough++
+		}
+	}
+	if trough == 0 || float64(peak)/float64(trough) < 3 {
+		t.Fatalf("peak/trough arrivals %d/%d, want ratio >= 3 (theoretical 9x rate)", peak, trough)
+	}
+}
+
+// TestEqualDurationBound checks the Masoori et al. regime: the
+// equalduration scenario produces a unit-duration instance (mu = 1) and
+// First Fit's measured conservative ratio stays under the equal-duration
+// reference constant — far below Theorem 1's mu+4 = 5.
+func TestEqualDurationBound(t *testing.T) {
+	l, err := workload.FromSpec("equalduration", 300, 3, 8, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range l {
+		if d := it.Departure - it.Arrival; math.Abs(d-1) > 1e-12 {
+			t.Fatalf("job %d duration %g, want exactly 1", it.ID, d)
+		}
+	}
+	if mu := l.Mu(); math.Abs(mu-1) > 1e-9 {
+		t.Fatalf("mu = %g, want 1", mu)
+	}
+	res := packing.MustRun(packing.NewFirstFit(), l, nil)
+	b := opt.Total(l, 48, 0)
+	ratio := res.TotalUsage / b.Lower
+	if bound := analysis.EqualDurationFirstFitBound(); ratio > bound {
+		t.Fatalf("FF conservative ratio %.4f exceeds equal-duration reference %.4g", ratio, bound)
+	}
+}
